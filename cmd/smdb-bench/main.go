@@ -1,0 +1,155 @@
+// Command smdb-bench runs the experiments that regenerate the paper's
+// table, measured numbers, and quantitative claims (DESIGN.md experiment
+// index E1-E10), printing each as an aligned text table.
+//
+// Usage:
+//
+//	smdb-bench [-exp all|table1|linelock|aborts|runtime|restart|forces|broadcast|locks|btree|lockrecovery] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smdb/internal/harness"
+	"smdb/internal/recovery"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, linelock, aborts, runtime, restart, forces, broadcast, locks, btree, lockrecovery, ablation, parallel, scaling, hotspot, osstruct)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	header := func(id, title, source string) {
+		fmt.Printf("\n=== %s: %s\n    (paper: %s)\n\n", id, title, source)
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if run("table1") {
+		header("E1", "incremental overheads of the IFA protocols", "Table 1")
+		res, err := harness.RunTable1(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("linelock") {
+		header("E2", "line-lock acquisition latency vs contention", "section 5.1 measurements")
+		res, err := harness.RunLineLock(nil, 200, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("aborts") {
+		header("E3", "unnecessary aborts after a one-node crash", "sections 1, 3, 9")
+		res, err := harness.RunAborts(8, nil, nil, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("runtime") {
+		header("E4", "failure-free runtime cost per protocol", "sections 4.1.1, 5, 7")
+		res, err := harness.RunRuntime(8, 0.5, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("restart") {
+		header("E5", "restart recovery: Redo All vs Selective Redo", "section 4.1.2")
+		res, err := harness.RunRestart(nil, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("forces") {
+		header("E6", "log-force frequency vs inter-node sharing", "section 5.2")
+		res, err := harness.RunForces(nil, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("broadcast") {
+		header("E7", "write-broadcast coherency: no migration, undo-only recovery", "section 7")
+		res, err := harness.RunBroadcast(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("locks") {
+		header("E8", "SM locking vs message-passing (shared-disk) locking", "sections 4.2.2, 7, ref [20]")
+		res, err := harness.RunLocks(nil, 200, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("btree") {
+		header("E9", "B-tree crash recovery with early-committed splits", "section 4.2.1")
+		res, err := harness.RunBTreeRecovery(recovery.VolatileSelectiveRedo, 80, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("lockrecovery") {
+		header("E10", "lock-space recovery: LCB loss, release, and rebuild", "section 4.2.2")
+		for _, chained := range []bool{false, true} {
+			res, err := harness.RunLockRecovery(recovery.VolatileSelectiveRedo, 8, *seed, chained)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(res.Table())
+		}
+	}
+	if run("ablation") {
+		header("E11", "ablation: the same crash scenarios with LBM disabled", "negative control; sections 3-4")
+		res, err := harness.RunAblation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("scaling") {
+		header("E13", "availability scaling: lost work per year vs machine size", "sections 1, 3.3")
+		res, err := harness.RunScaling(nil, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("hotspot") {
+		header("E14", "access skew: migration pressure and force rates", "sections 3.2, 5.2 (worst-case sharing)")
+		res, err := harness.RunHotspot(nil, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("osstruct") {
+		header("E15", "operating-system structures: semaphores and the disk map", "section 9 (conclusions)")
+		res, err := harness.RunOSStruct()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+	if run("parallel") {
+		header("E12", "parallel (multi-node) transactions: one crashed branch dooms all", "section 9")
+		res, err := harness.RunParallel(recovery.VolatileSelectiveRedo, 4)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+	}
+}

@@ -1,0 +1,29 @@
+package smdb_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end; each verifies
+// its own invariants (IFA checks, conservation, tree validation) and exits
+// nonzero on failure, so a pass here means the narrated scenarios still
+// hold.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile and run full scenarios; skipped with -short")
+	}
+	for _, example := range []string{"quickstart", "banking", "indexserver", "lockrecovery", "dsm"} {
+		example := example
+		t.Run(example, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+example).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", example, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", example)
+			}
+		})
+	}
+}

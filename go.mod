@@ -1,0 +1,3 @@
+module smdb
+
+go 1.22

@@ -1,0 +1,92 @@
+package btree_test
+
+import (
+	"testing"
+
+	"smdb/internal/btree"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/txn"
+)
+
+func benchTree(b *testing.B, preload int) (*btree.Tree, *txn.Manager) {
+	b.Helper()
+	db, err := recovery.New(recovery.Config{
+		Machine:        machine.Config{Nodes: 2, Lines: 1 << 16},
+		Protocol:       recovery.VolatileSelectiveRedo,
+		LinesPerPage:   8,
+		RecsPerLine:    4,
+		Pages:          4096,
+		LockTableLines: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := btree.New(db, 0, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := txn.NewManager(db)
+	for k := 1; k <= preload; k++ {
+		tx, err := mgr.Begin(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Insert(tx, uint64(k)*2, uint64(k)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr, mgr
+}
+
+func BenchmarkBTreeInsertCommit(b *testing.B) {
+	tr, mgr := benchTree(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := mgr.Begin(machine.NodeID(i % 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Insert(tx, uint64(1_000_000+i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	tr, mgr := benchTree(b, 512)
+	tx, err := mgr.Begin(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Lookup(tx, uint64(i%512+1)*2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeScan(b *testing.B) {
+	tr, mgr := benchTree(b, 512)
+	tx, err := mgr.Begin(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := tr.Scan(tx, 100, 160)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}

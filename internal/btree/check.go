@@ -1,0 +1,218 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+)
+
+// Structural validation and whole-tree inspection, used by tests and by the
+// recovery experiments to assert index integrity after crashes.
+
+// Validate checks the tree's structural invariants reading as node nd:
+// separator ordering, key-range containment, uniform leaf depth, leaf-chain
+// order, and live-key uniqueness. It returns a list of violations (empty
+// means the tree is well formed).
+func (tr *Tree) Validate(nd machine.NodeID) []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []string
+	add := func(format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	var leaves []storage.PageID
+	leafDepth := -1
+	seen := make(map[uint64]storage.PageID)
+
+	var walk func(p storage.PageID, lo, hi uint64, depth int)
+	walk = func(p storage.PageID, lo, hi uint64, depth int) {
+		meta, err := tr.readMeta(nd, p)
+		if err != nil {
+			add("page %d: unreadable meta: %v", p, err)
+			return
+		}
+		ents, err := tr.fullEntries(nd, p)
+		if err != nil {
+			add("page %d: unreadable entries: %v", p, err)
+			return
+		}
+		if meta.level == 0 {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				add("leaf %d at depth %d, others at %d", p, depth, leafDepth)
+			}
+			leaves = append(leaves, p)
+			for _, e := range ents {
+				if e.key < lo || (hi != ^uint64(0) && e.key >= hi) {
+					add("leaf %d: key %d outside range [%d, %d)", p, e.key, lo, hi)
+				}
+				if e.deleted {
+					continue
+				}
+				if prev, dup := seen[e.key]; dup {
+					add("key %d live in both leaf %d and leaf %d", e.key, prev, p)
+				}
+				seen[e.key] = p
+			}
+			return
+		}
+		if len(ents) == 0 {
+			add("internal page %d is empty", p)
+			return
+		}
+		if ents[0].key != 0 && ents[0].key > lo {
+			add("internal page %d: first separator %d above range floor %d", p, ents[0].key, lo)
+		}
+		for i, e := range ents {
+			if e.deleted {
+				add("internal page %d: tombstoned separator %d", p, e.key)
+			}
+			if e.tag != machine.NoNode {
+				add("internal page %d: tagged separator %d", p, e.key)
+			}
+			childLo := e.key
+			if childLo < lo {
+				childLo = lo
+			}
+			childHi := hi
+			if i+1 < len(ents) {
+				childHi = ents[i+1].key
+			}
+			walk(storage.PageID(e.val), childLo, childHi, depth+1)
+		}
+	}
+	walk(tr.FirstPage, 0, ^uint64(0), 0)
+
+	// Leaf chain: following nextLeaf from the leftmost leaf must visit
+	// exactly the leaves found by the tree walk, in key order.
+	if len(leaves) > 0 {
+		sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+		inTree := make(map[storage.PageID]bool, len(leaves))
+		for _, l := range leaves {
+			inTree[l] = true
+		}
+		// The leftmost leaf is the one reached by descending key 0.
+		p := tr.FirstPage
+		for {
+			meta, err := tr.readMeta(nd, p)
+			if err != nil {
+				add("chain: unreadable page %d: %v", p, err)
+				return out
+			}
+			if meta.level == 0 {
+				break
+			}
+			child, err := tr.childFor(nd, p, 0)
+			if err != nil {
+				add("chain: %v", err)
+				return out
+			}
+			p = child
+		}
+		visited := 0
+		prevMax := uint64(0)
+		for p != storage.NoPage {
+			if !inTree[p] {
+				add("chain visits page %d not in the tree", p)
+				break
+			}
+			visited++
+			if visited > len(leaves) {
+				add("leaf chain longer than leaf count %d (cycle?)", len(leaves))
+				break
+			}
+			ents, err := tr.fullEntries(nd, p)
+			if err != nil {
+				add("chain: unreadable leaf %d: %v", p, err)
+				break
+			}
+			for _, e := range ents {
+				if visited > 1 && e.key <= prevMax {
+					add("chain: leaf %d key %d <= previous leaf max %d", p, e.key, prevMax)
+				}
+			}
+			if len(ents) > 0 {
+				prevMax = ents[len(ents)-1].key
+			}
+			meta, err := tr.readMeta(nd, p)
+			if err != nil {
+				add("chain: unreadable meta %d: %v", p, err)
+				break
+			}
+			p = meta.nextLeaf
+		}
+		if visited != len(leaves) {
+			add("chain visited %d leaves, tree has %d", visited, len(leaves))
+		}
+	}
+	return out
+}
+
+// LiveKeys returns every non-deleted key with its value, reading as nd.
+func (tr *Tree) LiveKeys(nd machine.NodeID) (map[uint64]uint64, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make(map[uint64]uint64)
+	var walk func(p storage.PageID) error
+	walk = func(p storage.PageID) error {
+		meta, err := tr.readMeta(nd, p)
+		if err != nil {
+			return err
+		}
+		ents, err := tr.readEntries(nd, p)
+		if err != nil {
+			return err
+		}
+		if meta.level == 0 {
+			for _, e := range ents {
+				if !e.deleted {
+					out[e.key] = e.val
+				}
+			}
+			return nil
+		}
+		for _, e := range ents {
+			if err := walk(storage.PageID(e.val)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(tr.FirstPage); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Height returns the tree height (1 for a lone leaf root).
+func (tr *Tree) Height(nd machine.NodeID) (int, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	h := 1
+	p := tr.FirstPage
+	for {
+		meta, err := tr.readMeta(nd, p)
+		if err != nil {
+			return 0, err
+		}
+		if meta.level == 0 {
+			return h, nil
+		}
+		child, err := tr.childFor(nd, p, 0)
+		if err != nil {
+			return 0, err
+		}
+		p = child
+		h++
+	}
+}
+
+// PagesUsed returns how many index pages are allocated.
+func (tr *Tree) PagesUsed() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.nextFree
+}

@@ -1,0 +1,273 @@
+// Package buffer implements the no-force/steal buffer manager of the
+// shared-memory database (paper section 2). Pages live in shared-memory
+// frames managed by internal/heap; this package moves them between the
+// frames and the stable database:
+//
+//   - no-force: committing a transaction does not write its pages to disk,
+//     so redo information must survive for committed transactions;
+//   - steal: a dirty page may be written to disk while it still carries
+//     uncommitted updates, provided the write-ahead-log rule holds.
+//
+// WAL enforcement follows section 6: a shared-memory table records, per
+// page, the last update LSN of every node that updated it; a page may go to
+// the stable database only after each such node has forced its log through
+// that LSN. (The table is written only by the local node and is simply
+// re-initialized for a node that crashes.)
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+// Stats counts buffer manager activity.
+type Stats struct {
+	// Fetches is the number of Fetch calls; DiskFetches the subset that
+	// performed disk I/O; Formats the subset that created fresh pages.
+	Fetches, DiskFetches, Formats int64
+	// Flushes is pages written to the stable database; Steals the subset
+	// that carried uncommitted updates (an undo tag was present).
+	Flushes, Steals int64
+	// WALForces is log forces performed to satisfy the WAL rule before a
+	// flush.
+	WALForces int64
+}
+
+// Manager is the buffer manager. It is safe for concurrent use.
+type Manager struct {
+	Store *heap.Store
+	Disk  *storage.Disk
+	// Logs holds each node's write-ahead log, indexed by node ID, for WAL
+	// enforcement on flush.
+	Logs []*wal.Log
+	// NVRAMLog selects the NVRAM log-force cost instead of rotational
+	// disk (section 7's discussion of making stable logging cheap).
+	NVRAMLog bool
+
+	mu       sync.Mutex
+	dirty    map[storage.PageID]bool
+	updTable map[storage.PageID]map[machine.NodeID]wal.LSN
+	stats    Stats
+}
+
+// NewManager creates a buffer manager over the given store, disk, and
+// per-node logs.
+func NewManager(store *heap.Store, disk *storage.Disk, logs []*wal.Log) *Manager {
+	if disk.PageSize() < store.Layout.PageBytes() {
+		panic(fmt.Sprintf("buffer: disk page size %d < heap page size %d", disk.PageSize(), store.Layout.PageBytes()))
+	}
+	return &Manager{
+		Store:    store,
+		Disk:     disk,
+		Logs:     logs,
+		dirty:    make(map[storage.PageID]bool),
+		updTable: make(map[storage.PageID]map[machine.NodeID]wal.LSN),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Manager) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Fetch ensures every line of page p is resident in shared memory, on
+// behalf of node nd. A page never written to disk is formatted fresh; a
+// partially lost page has only its missing lines reinstalled from the disk
+// image, preserving newer surviving cached lines.
+func (b *Manager) Fetch(nd machine.NodeID, p storage.PageID) error {
+	b.mu.Lock()
+	b.stats.Fetches++
+	b.mu.Unlock()
+	if b.Store.ResidentPage(p) {
+		return nil
+	}
+	if !b.Disk.Exists(p) {
+		b.mu.Lock()
+		b.stats.Formats++
+		b.mu.Unlock()
+		return b.Store.FormatPage(nd, p)
+	}
+	img, err := b.Disk.ReadPage(p)
+	if err != nil {
+		return err
+	}
+	b.Store.M.AdvanceClock(nd, b.Store.M.Config().Cost.DiskRead)
+	b.mu.Lock()
+	b.stats.DiskFetches++
+	b.mu.Unlock()
+	return b.Store.InstallImage(nd, p, img[:b.Store.Layout.PageBytes()], true)
+}
+
+// MarkDirty records that page p diverges from its disk image.
+func (b *Manager) MarkDirty(p storage.PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dirty[p] = true
+}
+
+// Dirty reports whether page p is marked dirty.
+func (b *Manager) Dirty(p storage.PageID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dirty[p]
+}
+
+// DirtyPages returns the dirty page set (unordered).
+func (b *Manager) DirtyPages() []storage.PageID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]storage.PageID, 0, len(b.dirty))
+	for p := range b.dirty {
+		out = append(out, p)
+	}
+	return out
+}
+
+// NoteUpdate records, in the shared (page, LSN) table, that node nd's log
+// record lsn updated page p. FlushPage consults it to enforce WAL.
+func (b *Manager) NoteUpdate(p storage.PageID, nd machine.NodeID, lsn wal.LSN) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.updTable[p]
+	if t == nil {
+		t = make(map[machine.NodeID]wal.LSN)
+		b.updTable[p] = t
+	}
+	if lsn > t[nd] {
+		t[nd] = lsn
+	}
+}
+
+// logForceCost returns the simulated cost of one physical log force.
+func (b *Manager) logForceCost() int64 {
+	c := b.Store.M.Config().Cost
+	if b.NVRAMLog {
+		return c.LogForceNVRAM
+	}
+	return c.LogForce
+}
+
+// FlushPage writes page p to the stable database on behalf of node nd,
+// first enforcing the WAL rule: every node that updated p forces its log
+// through its last update to p. Flushing a page with an undo-tagged record
+// is a steal (an uncommitted update reaches disk); its undo record is made
+// stable by the same WAL forces. FlushPage fails with machine.ErrLineLost
+// if part of the page was destroyed by a crash and not yet recovered.
+func (b *Manager) FlushPage(nd machine.NodeID, p storage.PageID) error {
+	// WAL rule first (the order is the point of the protocol).
+	b.mu.Lock()
+	pending := make(map[machine.NodeID]wal.LSN, len(b.updTable[p]))
+	for n, lsn := range b.updTable[p] {
+		pending[n] = lsn
+	}
+	b.mu.Unlock()
+	for n, lsn := range pending {
+		if int(n) >= len(b.Logs) || b.Logs[n] == nil {
+			continue
+		}
+		if _, forced := b.Logs[n].Force(lsn); forced {
+			b.Store.M.AdvanceClock(nd, b.logForceCost())
+			b.mu.Lock()
+			b.stats.WALForces++
+			b.mu.Unlock()
+		}
+	}
+
+	img, err := b.Store.PageImage(nd, p)
+	if err != nil {
+		return fmt.Errorf("buffer: flushing page %d: %w", p, err)
+	}
+	steal := pageHasTag(b.Store.Layout, img)
+	// Tags never reach disk: the WAL forces above made every stolen
+	// update's undo record stable, which is what recovery uses for
+	// on-disk uncommitted data (tags only ever describe cached lines).
+	heap.StripTags(b.Store.Layout, img)
+	if err := b.Disk.WritePage(p, img); err != nil {
+		return err
+	}
+	b.Store.M.AdvanceClock(nd, b.Store.M.Config().Cost.DiskWrite)
+	b.mu.Lock()
+	b.stats.Flushes++
+	if steal {
+		b.stats.Steals++
+	}
+	delete(b.dirty, p)
+	delete(b.updTable, p)
+	b.mu.Unlock()
+	return nil
+}
+
+// pageHasTag reports whether any slot in the page image carries an undo tag
+// (i.e. an uncommitted update).
+func pageHasTag(layout heap.Layout, img []byte) bool {
+	for line := 1; line < layout.LinesPerPage; line++ {
+		lineImg := img[line*layout.LineSize : (line+1)*layout.LineSize]
+		for s := 0; s < layout.RecsPerLine; s++ {
+			if sd := heap.DecodeSlotFromLine(layout, lineImg, s); sd.Tag != machine.NoNode {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EvictPage flushes page p and then discards every cached copy of its
+// lines, freeing the frame contents (the page survives only on disk). This
+// is the steal path under memory pressure.
+func (b *Manager) EvictPage(nd machine.NodeID, p storage.PageID) error {
+	if err := b.FlushPage(nd, p); err != nil {
+		return err
+	}
+	base := b.Store.PageBase(p)
+	for i := 0; i < b.Store.Layout.LinesPerPage; i++ {
+		l := base + machine.LineID(i)
+		for _, h := range b.Store.M.Holders(l) {
+			if err := b.Store.M.Discard(h, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FlushAll flushes every dirty page (checkpoint support).
+func (b *Manager) FlushAll(nd machine.NodeID) error {
+	for _, p := range b.DirtyPages() {
+		if err := b.FlushPage(nd, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropNode re-initializes the crashed node's column of the (page, LSN)
+// table: its volatile log tail is gone, so there is nothing left to force.
+// (Its stable records remain on its log device for recovery.)
+func (b *Manager) DropNode(nd machine.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, t := range b.updTable {
+		delete(t, nd)
+	}
+}
+
+// PendingWAL returns the nodes (and LSNs) that would have to force their
+// logs before page p could be flushed. Exposed for tests and experiments.
+func (b *Manager) PendingWAL(p storage.PageID) map[machine.NodeID]wal.LSN {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[machine.NodeID]wal.LSN, len(b.updTable[p]))
+	for n, lsn := range b.updTable[p] {
+		if int(n) < len(b.Logs) && b.Logs[n] != nil && b.Logs[n].ForcedLSN() < lsn {
+			out[n] = lsn
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+type fixture struct {
+	m    *machine.Machine
+	disk *storage.Disk
+	logs []*wal.Log
+	bm   *Manager
+}
+
+func newFixture(t *testing.T, nodes int) *fixture {
+	t.Helper()
+	m := machine.New(machine.Config{Nodes: nodes, Lines: 4096})
+	layout, err := heap.NewLayout(m.LineSize(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := heap.NewStore(m, layout, 8)
+	disk := storage.NewDisk(layout.PageBytes())
+	logs := make([]*wal.Log, nodes)
+	for i := range logs {
+		logs[i], err = wal.NewLog(machine.NodeID(i), storage.NewLogDevice())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fixture{m: m, disk: disk, logs: logs, bm: NewManager(store, disk, logs)}
+}
+
+func TestFetchFormatsFreshPage(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.bm.Fetch(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !f.bm.Store.ResidentPage(3) {
+		t.Fatal("page not resident after fetch")
+	}
+	s := f.bm.Stats()
+	if s.Formats != 1 || s.DiskFetches != 0 {
+		t.Errorf("stats = %+v, want one format", s)
+	}
+	// Second fetch is a hit.
+	if err := f.bm.Fetch(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.bm.Stats(); s.Fetches != 2 || s.Formats != 1 {
+		t.Errorf("stats after hit = %+v", s)
+	}
+}
+
+func TestFlushAndRefetch(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.bm.Fetch(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rid := heap.RID{Page: 1, Slot: 2}
+	sd := heap.SlotData{Tag: machine.NoNode, Flags: heap.FlagOccupied, Version: 5, Data: []byte("persist me")}
+	if err := f.bm.Store.WriteSlot(0, rid, sd); err != nil {
+		t.Fatal(err)
+	}
+	f.bm.MarkDirty(1)
+	if !f.bm.Dirty(1) {
+		t.Fatal("page not dirty")
+	}
+	clock0 := f.m.Clock(0)
+	if err := f.bm.FlushPage(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.bm.Dirty(1) {
+		t.Error("page still dirty after flush")
+	}
+	if f.m.Clock(0)-clock0 < f.m.Config().Cost.DiskWrite {
+		t.Error("flush did not charge disk time")
+	}
+	// Evict everything, then refetch from disk.
+	if err := f.bm.EvictPage(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.bm.Store.ResidentPage(1) {
+		t.Fatal("page resident after evict")
+	}
+	if err := f.bm.Fetch(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.bm.Store.ReadSlot(1, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 5 || string(got.Data[:10]) != "persist me" {
+		t.Errorf("refetched slot = %+v", got)
+	}
+	if s := f.bm.Stats(); s.DiskFetches != 1 {
+		t.Errorf("DiskFetches = %d, want 1", s.DiskFetches)
+	}
+}
+
+func TestWALEnforcedOnFlush(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.bm.Fetch(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Two nodes update page 0, logging volatilely.
+	lsn0 := f.logs[0].Append(wal.Record{Type: wal.TypeUpdate, Txn: wal.MakeTxnID(0, 1), Page: 0})
+	f.bm.NoteUpdate(0, 0, lsn0)
+	lsn1 := f.logs[1].Append(wal.Record{Type: wal.TypeUpdate, Txn: wal.MakeTxnID(1, 1), Page: 0})
+	f.bm.NoteUpdate(0, 1, lsn1)
+
+	pend := f.bm.PendingWAL(0)
+	if len(pend) != 2 {
+		t.Fatalf("PendingWAL = %v, want both nodes", pend)
+	}
+	if err := f.bm.FlushPage(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Both logs must now be stable through the noted LSNs.
+	if f.logs[0].ForcedLSN() < lsn0 || f.logs[1].ForcedLSN() < lsn1 {
+		t.Errorf("WAL not enforced: forced = %d, %d", f.logs[0].ForcedLSN(), f.logs[1].ForcedLSN())
+	}
+	if s := f.bm.Stats(); s.WALForces != 2 {
+		t.Errorf("WALForces = %d, want 2", s.WALForces)
+	}
+	if len(f.bm.PendingWAL(0)) != 0 {
+		t.Error("PendingWAL nonempty after flush")
+	}
+}
+
+func TestStealDetection(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.bm.Fetch(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	rid := heap.RID{Page: 2, Slot: 0}
+	// An undo-tagged slot marks an uncommitted update: flushing is a steal.
+	if err := f.bm.Store.WriteSlot(0, rid, heap.SlotData{Tag: 0, Flags: heap.FlagOccupied, Version: 1, Data: []byte("uncommitted")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bm.FlushPage(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.bm.Stats(); s.Steals != 1 {
+		t.Errorf("Steals = %d, want 1", s.Steals)
+	}
+	// Clear the tag; the next flush is not a steal.
+	if err := f.bm.Store.WriteTag(0, rid, machine.NoNode); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bm.FlushPage(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.bm.Stats(); s.Steals != 1 || s.Flushes != 2 {
+		t.Errorf("stats = %+v, want 1 steal of 2 flushes", s)
+	}
+}
+
+func TestFlushLostPageFails(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.bm.Fetch(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 holds every line exclusively; crash it: the page is destroyed.
+	f.m.Crash(0)
+	if err := f.bm.FlushPage(1, 0); !errors.Is(err, machine.ErrLineLost) {
+		t.Errorf("flush of destroyed page: err = %v, want ErrLineLost", err)
+	}
+}
+
+func TestPartialReinstallAfterCrash(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.bm.Fetch(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	slotA := heap.RID{Page: 0, Slot: 0} // line 1
+	slotB := heap.RID{Page: 0, Slot: 4} // line 2
+	for _, rid := range []heap.RID{slotA, slotB} {
+		if err := f.bm.Store.WriteSlot(0, rid, heap.SlotData{Tag: machine.NoNode, Flags: heap.FlagOccupied, Version: 1, Data: []byte("v1")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.bm.FlushPage(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 updates slot A (its line migrates to node 1) and keeps v2
+	// only in its cache; the rest of the page stays on node 0.
+	if err := f.bm.Store.WriteSlot(1, slotA, heap.SlotData{Tag: machine.NoNode, Flags: heap.FlagOccupied, Version: 2, Data: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash node 0: the header, slot B's line, and the unused line die;
+	// slot A's line (on node 1) survives.
+	f.m.Crash(0)
+	if f.bm.Store.ResidentPage(0) {
+		t.Fatal("page should be partially lost")
+	}
+	if err := f.bm.Fetch(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Slot A must keep v2 (survivor), slot B restored to v1 from disk.
+	a, err := f.bm.Store.ReadSlot(1, slotA)
+	if err != nil || a.Version != 2 {
+		t.Errorf("slot A = %+v, %v; want v2 preserved", a, err)
+	}
+	bSlot, err := f.bm.Store.ReadSlot(1, slotB)
+	if err != nil || bSlot.Version != 1 {
+		t.Errorf("slot B = %+v, %v; want v1 from disk", bSlot, err)
+	}
+}
+
+func TestDropNode(t *testing.T) {
+	f := newFixture(t, 2)
+	if err := f.bm.Fetch(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	lsn := f.logs[0].Append(wal.Record{Type: wal.TypeUpdate, Txn: wal.MakeTxnID(0, 1), Page: 0})
+	f.bm.NoteUpdate(0, 0, lsn)
+	f.bm.DropNode(0)
+	if len(f.bm.PendingWAL(0)) != 0 {
+		t.Error("crashed node's WAL entries should be dropped")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	f := newFixture(t, 1)
+	for p := storage.PageID(0); p < 3; p++ {
+		if err := f.bm.Fetch(0, p); err != nil {
+			t.Fatal(err)
+		}
+		f.bm.MarkDirty(p)
+	}
+	if err := f.bm.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(f.bm.DirtyPages()); n != 0 {
+		t.Errorf("%d dirty pages after FlushAll", n)
+	}
+	if s := f.bm.Stats(); s.Flushes != 3 {
+		t.Errorf("Flushes = %d, want 3", s.Flushes)
+	}
+}

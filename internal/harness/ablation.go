@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/txn"
+)
+
+// Experiment E11 is the ablation study DESIGN.md calls out: the same
+// figure 2 scenario run with logging-before-migration disabled (update
+// logging deferred to commit; everything else identical). It demonstrates
+// that LBM is the load-bearing mechanism — without it, the undo hazard
+// (crash of the updater leaves its uncommitted update alive on a survivor)
+// and the redo hazard (crash of the destination loses a surviving
+// transaction's update) both materialize, and the IFA checker reports them.
+type AblationPoint struct {
+	Protocol recovery.Protocol
+	// CrashCase is 1 (the updating node crashes; undo needed) or 2 (the
+	// node holding the migrated line crashes; redo needed) — figure 2's
+	// two cases.
+	CrashCase int
+	// Violations is the IFA-checker report size after recovery.
+	Violations int
+	// Description summarizes the observed outcome.
+	Description string
+}
+
+// AblationResult compares the real protocol against the no-LBM control.
+type AblationResult struct {
+	Points []AblationPoint
+}
+
+// RunAblation executes figure 2's two crash cases under the real protocol
+// and the no-LBM control.
+func RunAblation() (*AblationResult, error) {
+	res := &AblationResult{}
+	for _, proto := range []recovery.Protocol{recovery.VolatileSelectiveRedo, recovery.AblatedNoLBM} {
+		for crashCase := 1; crashCase <= 2; crashCase++ {
+			p, err := runAblationCase(proto, crashCase)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %v case %d: %w", proto, crashCase, err)
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+func runAblationCase(proto recovery.Protocol, crashCase int) (AblationPoint, error) {
+	db, err := newDB(proto, 2, 4, defaultPages, 0)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	mgr := txn.NewManager(db)
+	r1 := heap.RID{Page: 0, Slot: 0}
+	r2 := heap.RID{Page: 0, Slot: 1}
+	init, err := mgr.Begin(0)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	for _, rid := range []heap.RID{r1, r2} {
+		if err := init.Insert(rid, []byte{1}); err != nil {
+			return AblationPoint{}, err
+		}
+	}
+	if err := init.Commit(); err != nil {
+		return AblationPoint{}, err
+	}
+	if err := db.Checkpoint(0); err != nil {
+		return AblationPoint{}, err
+	}
+
+	tx, err := mgr.Begin(0)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	ty, err := mgr.Begin(1)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	if err := tx.Write(r1, []byte{100}); err != nil {
+		return AblationPoint{}, err
+	}
+	if err := ty.Write(r2, []byte{200}); err != nil { // the line migrates
+		return AblationPoint{}, err
+	}
+	victim := machine.NodeID(crashCase - 1) // case 1: node 0 (t_x); case 2: node 1
+	db.Crash(victim)
+	if _, err := db.Recover([]machine.NodeID{victim}); err != nil {
+		return AblationPoint{}, err
+	}
+	survivor := machine.NodeID(1 - int(victim))
+	violations := db.CheckIFA(survivor)
+
+	sd, err := db.Read(survivor, r1)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	desc := ""
+	switch {
+	case crashCase == 1 && sd.Data[0] == 100:
+		desc = "t_x's uncommitted update SURVIVED its node's crash (undo hazard)"
+	case crashCase == 1:
+		desc = "t_x's update correctly undone"
+	case crashCase == 2 && sd.Data[0] != 100:
+		desc = "surviving t_x LOST its update to the remote crash (redo hazard)"
+	case crashCase == 2:
+		desc = "t_x's update correctly redone"
+	}
+	return AblationPoint{
+		Protocol:    proto,
+		CrashCase:   crashCase,
+		Violations:  len(violations),
+		Description: desc,
+	}, nil
+}
+
+// Table renders the comparison.
+func (r *AblationResult) Table() string {
+	t := &tableWriter{header: []string{"protocol", "crash-case", "ifa-violations", "outcome"}}
+	for _, p := range r.Points {
+		t.addRow(p.Protocol.String(), fmt.Sprintf("%d", p.CrashCase),
+			fmt.Sprintf("%d", p.Violations), p.Description)
+	}
+	return t.String()
+}
+
+// Experiment E12 exercises the paper's section 9 extension: a transaction
+// parallelized across several nodes must abort entirely if any of its nodes
+// crashes, while independent transactions on the same surviving nodes are
+// untouched.
+type ParallelResult struct {
+	Protocol recovery.Protocol
+	// Participants is the branch count; AbortedBranches how many recovery
+	// rolled back (all of them); IndependentSurvived whether the control
+	// transaction stayed active.
+	Participants, AbortedBranches int
+	IndependentSurvived           bool
+	Violations                    int
+}
+
+// RunParallel runs one parallel transaction over n-1 nodes plus one
+// independent transaction, crashing a single participant.
+func RunParallel(proto recovery.Protocol, nodes int) (*ParallelResult, error) {
+	db, err := seededDB(proto, nodes, 4, defaultPages, 0)
+	if err != nil {
+		return nil, err
+	}
+	mgr := txn.NewManager(db)
+	parts := make([]machine.NodeID, nodes-1)
+	for i := range parts {
+		parts[i] = machine.NodeID(i)
+	}
+	p, err := mgr.BeginParallel(parts...)
+	if err != nil {
+		return nil, err
+	}
+	for i, nd := range parts {
+		if err := p.On(nd).Write(heap.RID{Page: 0, Slot: uint16(i)}, []byte{byte(50 + i)}); err != nil {
+			return nil, err
+		}
+	}
+	indep, err := mgr.Begin(machine.NodeID(nodes - 1))
+	if err != nil {
+		return nil, err
+	}
+	if err := indep.Write(heap.RID{Page: 1, Slot: 0}, []byte{99}); err != nil {
+		return nil, err
+	}
+	victim := parts[len(parts)-1]
+	db.Crash(victim)
+	rep, err := db.Recover([]machine.NodeID{victim})
+	if err != nil {
+		return nil, err
+	}
+	st, _ := db.Status(indep.ID())
+	return &ParallelResult{
+		Protocol:            proto,
+		Participants:        len(parts),
+		AbortedBranches:     len(rep.Aborted),
+		IndependentSurvived: st == recovery.TxnActive,
+		Violations:          len(db.CheckIFA(db.M.AliveNodes()[0])),
+	}, nil
+}
+
+// Table renders the result.
+func (r *ParallelResult) Table() string {
+	t := &tableWriter{header: []string{"protocol", "participants", "aborted-branches", "independent-survived", "ifa-violations"}}
+	t.addRow(r.Protocol.String(), fmt.Sprintf("%d", r.Participants),
+		fmt.Sprintf("%d", r.AbortedBranches), fmt.Sprintf("%v", r.IndependentSurvived),
+		fmt.Sprintf("%d", r.Violations))
+	return t.String()
+}

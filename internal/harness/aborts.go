@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/workload"
+)
+
+// Experiment E3 quantifies the paper's headline claim: without IFA, a
+// single node crash aborts transactions on nodes that never failed (in the
+// conventional design, *all* of them — the machine reboots); with the
+// paper's protocols, only the crashed node's transactions abort, regardless
+// of how aggressively cache lines were shared. The sweep varies the
+// protocol, the number of records per cache line, and the fraction of
+// shared accesses.
+type AbortsPoint struct {
+	Protocol        recovery.Protocol
+	Nodes           int
+	RecsPerLine     int
+	SharingFraction float64
+	// ActiveAtCrash is the number of in-flight transactions when one node
+	// crashed; Aborted is how many recovery killed; Unnecessary is the
+	// aborts beyond the crashed node's own transactions.
+	ActiveAtCrash, Aborted, Unnecessary int
+	// OrphanLines is how many shared-memory lines held crashed-node data
+	// on survivors (the dependency surface the protocols must clean).
+	OrphanLines int
+	// Violations is the IFA-checker output length (must be 0 for IFA
+	// protocols).
+	Violations int
+}
+
+// AbortsResult is the sweep.
+type AbortsResult struct {
+	Points []AbortsPoint
+}
+
+// RunAborts sweeps protocols x records-per-line x sharing fraction on the
+// given node count, crashing one node mid-flight each time.
+func RunAborts(nodes int, recsPerLine []int, sharing []float64, seed int64) (*AbortsResult, error) {
+	if len(recsPerLine) == 0 {
+		recsPerLine = []int{1, 2, 4, 8}
+	}
+	if len(sharing) == 0 {
+		sharing = []float64{0.0, 0.5, 1.0}
+	}
+	protos := append([]recovery.Protocol{recovery.BaselineFA}, IFAProtocols()...)
+	res := &AbortsResult{}
+	for _, proto := range protos {
+		for _, rpl := range recsPerLine {
+			for _, sh := range sharing {
+				p, err := runAbortsOnce(proto, nodes, rpl, sh, seed)
+				if err != nil {
+					return nil, fmt.Errorf("aborts %v rpl=%d sh=%.1f: %w", proto, rpl, sh, err)
+				}
+				res.Points = append(res.Points, p)
+			}
+		}
+	}
+	return res, nil
+}
+
+func runAbortsOnce(proto recovery.Protocol, nodes, rpl int, sharing float64, seed int64) (AbortsPoint, error) {
+	db, err := seededDB(proto, nodes, rpl, defaultPages, 0)
+	if err != nil {
+		return AbortsPoint{}, err
+	}
+	r := workload.NewRunner(db, workload.Spec{
+		TxnsPerNode: 4, OpsPerTxn: 16,
+		ReadFraction: 0.3, SharingFraction: sharing, Seed: seed,
+	})
+	// Run until every node has a transaction well in flight.
+	if _, err := r.RunUntilMidFlight(10); err != nil {
+		return AbortsPoint{}, err
+	}
+	active := len(db.ActiveTxns(machine.NoNode))
+	victim := machine.NodeID(nodes - 1)
+	crashedTxns := len(db.ActiveTxns(victim))
+	crash := db.Crash(victim)
+	rep, err := db.Recover([]machine.NodeID{victim})
+	if err != nil {
+		return AbortsPoint{}, err
+	}
+	// Count only heap (database-object) lines as the dependency surface;
+	// LCB-line orphans are reported by E10.
+	orphanHeap := 0
+	for _, l := range crash.OrphanedLines {
+		if db.Store.Contains(l) {
+			orphanHeap++
+		}
+	}
+	p := AbortsPoint{
+		Protocol:        proto,
+		Nodes:           nodes,
+		RecsPerLine:     rpl,
+		SharingFraction: sharing,
+		ActiveAtCrash:   active,
+		Aborted:         len(rep.Aborted),
+		Unnecessary:     len(rep.Aborted) - crashedTxns,
+		OrphanLines:     orphanHeap,
+	}
+	if proto.IFA() {
+		p.Violations = len(db.CheckIFA(db.M.AliveNodes()[0]))
+	}
+	return p, nil
+}
+
+// Table renders the sweep.
+func (r *AbortsResult) Table() string {
+	t := &tableWriter{header: []string{
+		"protocol", "recs/line", "sharing", "active", "aborted", "unnecessary", "orphan-lines", "ifa-violations",
+	}}
+	for _, p := range r.Points {
+		t.addRow(
+			p.Protocol.String(),
+			fmt.Sprintf("%d", p.RecsPerLine),
+			pct(p.SharingFraction),
+			fmt.Sprintf("%d", p.ActiveAtCrash),
+			fmt.Sprintf("%d", p.Aborted),
+			fmt.Sprintf("%d", p.Unnecessary),
+			fmt.Sprintf("%d", p.OrphanLines),
+			fmt.Sprintf("%d", p.Violations),
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,9 @@
+package harness
+
+import "testing"
+
+func TestHangRepro(t *testing.T) {
+	if _, err := RunHotspot([]float64{0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+
+	"smdb/internal/lock"
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+// Experiment E8 compares SM locking (LCBs in shared memory, line-lock
+// critical sections) against the shared-disk-style message-passing lock
+// manager (sections 4.2.2, 7, and the companion report [20]): the
+// performance gain of SM locking "stems from the elimination of all
+// inter-process communication". The experiment also prices IFA's read-lock
+// logging against the SD alternative (replicated lock tables).
+type LocksPoint struct {
+	Manager string
+	Nodes   int
+	// MeanAcquireNS / MeanReleaseNS are simulated per-operation costs.
+	MeanAcquireNS, MeanReleaseNS int64
+	// Messages is inter-node message round trips (SD only).
+	Messages int64
+	// LockLogRecords is logical lock log records written (SM under IFA).
+	LockLogRecords int64
+}
+
+// LocksResult is the comparison across node counts.
+type LocksResult struct {
+	Points []LocksPoint
+}
+
+// RunLocks drives acquire/release pairs of distinct locks from every node
+// under each manager and reports the mean simulated cost per operation.
+func RunLocks(nodeCounts []int, opsPerNode int, seed int64) (*LocksResult, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{2, 8, 32}
+	}
+	if opsPerNode == 0 {
+		opsPerNode = 200
+	}
+	res := &LocksResult{}
+	for _, nodes := range nodeCounts {
+		sm, err := runSMLocks(nodes, opsPerNode, lock.LogAllLocks)
+		if err != nil {
+			return nil, err
+		}
+		sm.Manager = "sm-locking (ifa: read locks logged)"
+		res.Points = append(res.Points, sm)
+
+		smNoLog, err := runSMLocks(nodes, opsPerNode, lock.LogWriteLocks)
+		if err != nil {
+			return nil, err
+		}
+		smNoLog.Manager = "sm-locking (write locks only)"
+		res.Points = append(res.Points, smNoLog)
+
+		for _, replicated := range []bool{false, true} {
+			sd, err := runSDLocks(nodes, opsPerNode, replicated)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, sd)
+		}
+	}
+	return res, nil
+}
+
+func runSMLocks(nodes, ops int, lm lock.LogMode) (LocksPoint, error) {
+	m := machine.New(machine.Config{Nodes: nodes, Lines: 4096})
+	logs := make([]*wal.Log, nodes)
+	for i := range logs {
+		var err error
+		logs[i], err = wal.NewLog(machine.NodeID(i), storage.NewLogDevice())
+		if err != nil {
+			return LocksPoint{}, err
+		}
+	}
+	s, err := lock.NewSMManager(m, 2048, logs, lm)
+	if err != nil {
+		return LocksPoint{}, err
+	}
+	var acq, rel int64
+	n := 0
+	for op := 0; op < ops; op++ {
+		for nd := machine.NodeID(0); int(nd) < nodes; nd++ {
+			txn := wal.MakeTxnID(nd, uint64(op+1))
+			// Draw names from a recurring pool, as record locking does.
+			name := lockName(op, int(nd), nodes)
+			mode := lock.Shared
+			if op%2 == 0 {
+				mode = lock.Exclusive
+			}
+			before := m.Clock(nd)
+			if _, err := s.Acquire(nd, txn, name, mode); err != nil {
+				return LocksPoint{}, err
+			}
+			acq += m.Clock(nd) - before
+			before = m.Clock(nd)
+			if err := s.Release(nd, txn, name); err != nil {
+				return LocksPoint{}, err
+			}
+			rel += m.Clock(nd) - before
+			n++
+		}
+	}
+	return LocksPoint{
+		Nodes:          nodes,
+		MeanAcquireNS:  acq / int64(n),
+		MeanReleaseNS:  rel / int64(n),
+		LockLogRecords: s.Stats().LockLogs,
+	}, nil
+}
+
+// lockName draws from a pool of 512 recurring lock names, spread so that
+// concurrent requesters in one round use distinct names (no blocking).
+func lockName(op, nd, nodes int) lock.Name {
+	return lock.NameOfKey(uint64((op*nodes + nd) % 512))
+}
+
+func runSDLocks(nodes, ops int, replicated bool) (LocksPoint, error) {
+	m := machine.New(machine.Config{Nodes: nodes, Lines: 64})
+	s := lock.NewSDManager(m, replicated)
+	var acq, rel int64
+	n := 0
+	for op := 0; op < ops; op++ {
+		for nd := machine.NodeID(0); int(nd) < nodes; nd++ {
+			txn := wal.MakeTxnID(nd, uint64(op+1))
+			name := lockName(op, int(nd), nodes)
+			mode := lock.Shared
+			if op%2 == 0 {
+				mode = lock.Exclusive
+			}
+			before := m.Clock(nd)
+			if _, err := s.Acquire(nd, txn, name, mode); err != nil {
+				return LocksPoint{}, err
+			}
+			acq += m.Clock(nd) - before
+			before = m.Clock(nd)
+			if err := s.Release(nd, txn, name); err != nil {
+				return LocksPoint{}, err
+			}
+			rel += m.Clock(nd) - before
+			n++
+		}
+	}
+	name := "sd message-passing"
+	if replicated {
+		name = "sd message-passing (replicated)"
+	}
+	return LocksPoint{
+		Manager:       name,
+		Nodes:         nodes,
+		MeanAcquireNS: acq / int64(n),
+		MeanReleaseNS: rel / int64(n),
+		Messages:      s.Stats().Messages,
+	}, nil
+}
+
+// Table renders the comparison.
+func (r *LocksResult) Table() string {
+	t := &tableWriter{header: []string{
+		"manager", "nodes", "mean-acquire", "mean-release", "messages", "lock-log-recs",
+	}}
+	for _, p := range r.Points {
+		t.addRow(
+			p.Manager,
+			fmt.Sprintf("%d", p.Nodes),
+			us(p.MeanAcquireNS),
+			us(p.MeanReleaseNS),
+			fmt.Sprintf("%d", p.Messages),
+			fmt.Sprintf("%d", p.LockLogRecords),
+		)
+	}
+	return t.String()
+}

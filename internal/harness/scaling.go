@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/workload"
+)
+
+// Experiment E13 quantifies the paper's introduction and section 3.3
+// argument for why IFA matters more as machines grow: "in very large
+// systems if one node crash implies system failure, then the system could
+// be down quite often", and "it is conceivable that a single node failure
+// would affect thousands of active transactions" (the KSR-1 scaled to
+// 1,088 nodes). The experiment crashes one node at increasing machine
+// sizes and converts the measured aborts into yearly lost work under a
+// fixed per-node MTBF: the baseline's loss grows quadratically with the
+// node count (crash frequency x active transactions killed), the IFA
+// protocols' only linearly (crash frequency x one node's transactions).
+type ScalingPoint struct {
+	Protocol recovery.Protocol
+	Nodes    int
+	// ActiveAtCrash transactions were in flight; Aborted were killed;
+	// LostWrites is the update work rolled back.
+	ActiveAtCrash, Aborted, LostWrites int
+	// RecoverySimTime is the restart duration for this crash.
+	RecoverySimTime int64
+	// CrashesPerYear = Nodes * (365 / MTBFdays); LostWritesPerYear
+	// extrapolates the measured per-crash loss.
+	CrashesPerYear    float64
+	LostWritesPerYear float64
+}
+
+// MTBFDays is the assumed per-node mean time between failures used for the
+// yearly extrapolation (a deliberately conservative 90 days, motivated by
+// the section 3.3 picture of users powering nodes down at will).
+const MTBFDays = 90.0
+
+// ScalingResult is the sweep.
+type ScalingResult struct {
+	Points []ScalingPoint
+}
+
+// RunScaling sweeps machine sizes for the baseline and the recommended IFA
+// protocol.
+func RunScaling(nodeCounts []int, seed int64) (*ScalingResult, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{4, 8, 16, 32, 64}
+	}
+	res := &ScalingResult{}
+	for _, proto := range []recovery.Protocol{recovery.BaselineFA, recovery.VolatileSelectiveRedo} {
+		for _, nodes := range nodeCounts {
+			p, err := runScalingOnce(proto, nodes, seed)
+			if err != nil {
+				return nil, fmt.Errorf("scaling %v nodes=%d: %w", proto, nodes, err)
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+func runScalingOnce(proto recovery.Protocol, nodes int, seed int64) (ScalingPoint, error) {
+	// Heap scaled with the node count so per-node work stays comparable.
+	pages := nodes * 4
+	db, err := seededDB(proto, nodes, 4, pages, 0)
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	r := workload.NewRunner(db, workload.Spec{
+		TxnsPerNode: 4, OpsPerTxn: 12,
+		ReadFraction: 0.3, SharingFraction: 0.5, Seed: seed,
+	})
+	if _, err := r.RunUntilMidFlight(8); err != nil {
+		return ScalingPoint{}, err
+	}
+	active := len(db.ActiveTxns(machine.NoNode))
+	victim := machine.NodeID(nodes - 1)
+	db.Crash(victim)
+	rep, err := db.Recover([]machine.NodeID{victim})
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	lost := 0
+	for _, t := range rep.Aborted {
+		lost += db.WriteCount(t)
+	}
+	crashesPerYear := float64(nodes) * 365.0 / MTBFDays
+	return ScalingPoint{
+		Protocol:          proto,
+		Nodes:             nodes,
+		ActiveAtCrash:     active,
+		Aborted:           len(rep.Aborted),
+		LostWrites:        lost,
+		RecoverySimTime:   rep.SimTime,
+		CrashesPerYear:    crashesPerYear,
+		LostWritesPerYear: crashesPerYear * float64(lost),
+	}, nil
+}
+
+// Table renders the sweep.
+func (r *ScalingResult) Table() string {
+	t := &tableWriter{header: []string{
+		"protocol", "nodes", "active", "aborted", "lost-writes/crash", "recovery", "crashes/yr", "lost-writes/yr",
+	}}
+	for _, p := range r.Points {
+		t.addRow(
+			p.Protocol.String(),
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.ActiveAtCrash),
+			fmt.Sprintf("%d", p.Aborted),
+			fmt.Sprintf("%d", p.LostWrites),
+			ms(p.RecoverySimTime),
+			fmt.Sprintf("%.0f", p.CrashesPerYear),
+			fmt.Sprintf("%.0f", p.LostWritesPerYear),
+		)
+	}
+	return t.String()
+}

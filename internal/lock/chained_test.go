@@ -1,0 +1,189 @@
+package lock
+
+import (
+	"testing"
+
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+func newChained(t *testing.T, nodes, tableLines int) (*SMManager, *machine.Machine) {
+	t.Helper()
+	m := machine.New(machine.Config{Nodes: nodes, Lines: tableLines + 64})
+	logs := make([]*wal.Log, nodes)
+	for i := range logs {
+		var err error
+		logs[i], err = wal.NewLog(machine.NodeID(i), storage.NewLogDevice())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSMManager(m, tableLines, logs, LogAllLocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Chained = true
+	return s, m
+}
+
+// TestChainedOverflow: more holders than one line can store spill into
+// overflow lines, remain visible, and shrink back on release.
+func TestChainedOverflow(t *testing.T) {
+	s, _ := newChained(t, 2, 64)
+	name := NameOfKey(7)
+	cap := s.entryCap()
+	n := cap + 5 // forces a second line
+	for i := 0; i < n; i++ {
+		txn := wal.MakeTxnID(machine.NodeID(i%2), uint64(i+1))
+		if g, err := s.Acquire(machine.NodeID(i%2), txn, name, Shared); err != nil || !g {
+			t.Fatalf("holder %d: %v, %v", i, g, err)
+		}
+	}
+	snap, err := s.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || len(snap[0].Holders) != n {
+		t.Fatalf("snapshot = %d LCBs, %d holders; want 1, %d", len(snap), len(snap[0].Holders), n)
+	}
+	// Every holder is individually visible.
+	for i := 0; i < n; i++ {
+		txn := wal.MakeTxnID(machine.NodeID(i%2), uint64(i+1))
+		if _, held, err := s.Holds(0, txn, name); err != nil || !held {
+			t.Errorf("holder %d invisible: %v, %v", i, held, err)
+		}
+	}
+	// Release all: the chain shrinks and finally tombstones.
+	for i := 0; i < n; i++ {
+		txn := wal.MakeTxnID(machine.NodeID(i%2), uint64(i+1))
+		if err := s.Release(machine.NodeID(i%2), txn, name); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	snap, err = s.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 0 {
+		t.Errorf("lock space not empty after releases: %+v", snap)
+	}
+	// The freed overflow slots are reusable: fill the table with fresh
+	// single-line locks.
+	for i := 0; i < 32; i++ {
+		txn := wal.MakeTxnID(0, uint64(1000+i))
+		if g, err := s.Acquire(0, txn, NameOfKey(uint64(100+i)), Exclusive); err != nil || !g {
+			t.Fatalf("post-shrink acquire %d: %v, %v", i, g, err)
+		}
+	}
+}
+
+// TestChainedWaitersOverflow: long waiter queues spill too, and FIFO
+// promotion order is preserved across the chain.
+func TestChainedWaitersOverflow(t *testing.T) {
+	s, _ := newChained(t, 2, 64)
+	name := NameOfKey(9)
+	holder := wal.MakeTxnID(0, 1)
+	if g, _ := s.Acquire(0, holder, name, Exclusive); !g {
+		t.Fatal("holder not granted")
+	}
+	nWaiters := s.entryCap() + 3
+	for i := 0; i < nWaiters; i++ {
+		txn := wal.MakeTxnID(1, uint64(i+10))
+		if g, err := s.Acquire(1, txn, name, Exclusive); err != nil || g {
+			t.Fatalf("waiter %d: granted=%v err=%v", i, g, err)
+		}
+	}
+	// Release the holder: exactly the first waiter is promoted.
+	if err := s.Release(0, holder, name); err != nil {
+		t.Fatal(err)
+	}
+	if _, held, _ := s.Holds(0, wal.MakeTxnID(1, 10), name); !held {
+		t.Error("first waiter not promoted")
+	}
+	if _, held, _ := s.Holds(0, wal.MakeTxnID(1, 11), name); held {
+		t.Error("second waiter promoted out of order")
+	}
+}
+
+// TestChainedCrashDropsWholeLCB: destroying one fragment of a chained LCB
+// drops the whole chain (section 4.2.2: "it would be much easier to
+// reconstruct the entire LCB"), and orphaned fragments are reclaimed.
+func TestChainedCrashDropsWholeLCB(t *testing.T) {
+	s, m := newChained(t, 3, 64)
+	name := NameOfKey(3)
+	n := s.entryCap() + 4
+	for i := 0; i < n; i++ {
+		txn := wal.MakeTxnID(machine.NodeID(i%2), uint64(i+1))
+		if g, err := s.Acquire(machine.NodeID(i%2), txn, name, Shared); err != nil || !g {
+			t.Fatalf("holder %d: %v %v", i, g, err)
+		}
+	}
+	// The last acquirer (node 1) wrote every line of the chain, so the
+	// whole chain is exclusively cached there; crash it.
+	m.Crash(1)
+	lost := s.LostLCBCount()
+	if lost == 0 {
+		t.Fatal("crash destroyed no LCB lines")
+	}
+	if _, err := s.ReinstallLost(0); err != nil {
+		t.Fatal(err)
+	}
+	dropped, orphans, err := s.SweepBrokenChains(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = orphans
+	// Either the whole chain died (nothing to drop) or a fragment
+	// survived and the sweep dropped the remains; in both cases the name
+	// must be absent afterwards and the table consistent.
+	snap, err := s.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range snap {
+		if ls.Name == name {
+			t.Errorf("broken chain still visible: %+v (dropped=%d)", ls, dropped)
+		}
+	}
+	// Replay-style rebuild: re-request the surviving node's locks.
+	s.SetLogSuppressed(true)
+	rebuilt := 0
+	for i := 0; i < n; i += 2 { // node 0's transactions
+		txn := wal.MakeTxnID(0, uint64(i+1))
+		if g, err := s.Acquire(0, txn, name, Shared); err != nil || !g {
+			t.Fatalf("rebuild %d: %v %v", i, g, err)
+		}
+		rebuilt++
+	}
+	s.SetLogSuppressed(false)
+	snap, _ = s.Snapshot(0)
+	if len(snap) != 1 || len(snap[0].Holders) != rebuilt {
+		t.Errorf("rebuilt LCB: %+v, want %d holders", snap, rebuilt)
+	}
+}
+
+// TestSweepNoopOnIntactTable: the sweep changes nothing when no chain is
+// broken, in either mode.
+func TestSweepNoopOnIntactTable(t *testing.T) {
+	s, _ := newChained(t, 2, 64)
+	name := NameOfKey(5)
+	for i := 0; i < s.entryCap()+2; i++ {
+		txn := wal.MakeTxnID(0, uint64(i+1))
+		if g, err := s.Acquire(0, txn, name, Shared); err != nil || !g {
+			t.Fatal(g, err)
+		}
+	}
+	before, _ := s.Snapshot(0)
+	dropped, orphans, err := s.SweepBrokenChains(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || orphans != 0 {
+		t.Errorf("sweep touched an intact table: dropped=%d orphans=%d", dropped, orphans)
+	}
+	after, _ := s.Snapshot(0)
+	if len(before) != len(after) || len(before[0].Holders) != len(after[0].Holders) {
+		t.Errorf("sweep mutated an intact table: %+v -> %+v", before, after)
+	}
+}

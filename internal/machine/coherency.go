@@ -1,0 +1,271 @@
+package machine
+
+// This file implements the coherency protocol proper: reads, writes, and the
+// software-visible residency operations (Install, Discard, Resident) used by
+// the buffer manager and the restart-recovery schemes.
+
+// Read copies n bytes starting at byte off of line l into a fresh slice, on
+// behalf of node nd. If the line is valid somewhere the protocol replicates
+// it into nd's cache (downgrading an exclusive remote holder, history H_wr);
+// if it is valid nowhere Read returns ErrLineLost and the caller must
+// re-install it from stable storage.
+func (m *Machine) Read(nd NodeID, l LineID, off, n int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(l, off, n); err != nil {
+		return nil, err
+	}
+	if !m.aliveLocked(nd) {
+		return nil, ErrNodeDown
+	}
+	ln := &m.lines[l]
+	m.stats.Reads++
+	if !ln.valid {
+		return nil, ErrLineLost
+	}
+	switch {
+	case ln.holders.has(nd):
+		// Local hit.
+		m.stats.LocalHits++
+		m.clocks[nd] += m.cfg.Cost.ReadLocal
+	default:
+		// Remote fetch; replicate into nd's cache.
+		if ln.excl != NoNode && ln.excl != nd {
+			// H_wr: the exclusive holder is downgraded to shared.
+			if err := m.fire(l, EventDowngrade, ln.excl, nd, nd); err != nil {
+				return nil, err
+			}
+			m.stats.Downgrades++
+			ln.excl = NoNode
+		}
+		ln.holders.add(nd)
+		m.stats.RemoteFetches++
+		m.stats.Replications++
+		m.clocks[nd] += m.cfg.Cost.RemoteFetch
+	}
+	out := make([]byte, n)
+	copy(out, ln.data[off:off+n])
+	return out, nil
+}
+
+// Write stores data at byte off of line l on behalf of node nd. Under
+// write-invalidate the write first obtains the line exclusively, invalidating
+// every other cached copy (migrating the line if another node held it
+// exclusively — histories H_ww1/H_ww2). Under write-broadcast the update is
+// propagated to all cached copies instead. Write returns ErrLineLost if the
+// line is valid nowhere.
+func (m *Machine) Write(nd NodeID, l LineID, off int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeLocked(nd, l, off, data)
+}
+
+func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
+	if err := m.checkRange(l, off, len(data)); err != nil {
+		return err
+	}
+	if !m.aliveLocked(nd) {
+		return ErrNodeDown
+	}
+	ln := &m.lines[l]
+	m.stats.Writes++
+	if !ln.valid {
+		return ErrLineLost
+	}
+	if ln.lock.held && ln.lock.owner != nd {
+		// A line lock pins the line: no other node may read or write it.
+		// Callers coordinate through GetLine, so reaching this is a
+		// protocol bug above the machine; report it loudly.
+		return ErrLineLockHeld
+	}
+	if m.cfg.Coherency == WriteBroadcast {
+		return m.writeBroadcastLocked(nd, ln, l, off, data)
+	}
+	switch {
+	case ln.excl == nd:
+		// Already exclusive locally.
+		m.stats.LocalHits++
+		m.clocks[nd] += m.cfg.Cost.WriteLocal
+	case ln.holders.sole(nd):
+		// Sole sharer: silent upgrade.
+		ln.excl = nd
+		m.stats.LocalHits++
+		m.clocks[nd] += m.cfg.Cost.WriteLocal
+	case ln.excl != NoNode:
+		// Another node holds it exclusively: the line migrates.
+		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
+			return err
+		}
+		m.stats.Migrations++
+		m.stats.RemoteFetches++
+		ln.holders = 0
+		ln.holders.add(nd)
+		ln.excl = nd
+		m.clocks[nd] += m.cfg.Cost.RemoteFetch
+	default:
+		// Shared in one or more caches: invalidate them all.
+		others := ln.holders
+		others.remove(nd)
+		if !others.empty() {
+			if err := m.fire(l, EventInvalidate, others.lowest(), nd, nd); err != nil {
+				return err
+			}
+			m.stats.Invalidations += int64(others.count())
+			m.clocks[nd] += int64(others.count()) * m.cfg.Cost.InvalidatePerSharer
+		}
+		cost := m.cfg.Cost.WriteLocal
+		if !ln.holders.has(nd) {
+			cost = m.cfg.Cost.RemoteFetch
+			m.stats.RemoteFetches++
+		} else {
+			m.stats.LocalHits++
+		}
+		ln.holders = 0
+		ln.holders.add(nd)
+		ln.excl = nd
+		m.clocks[nd] += cost
+	}
+	copy(ln.data[off:], data)
+	return nil
+}
+
+// writeBroadcastLocked implements the write-broadcast protocol of section 7:
+// every cached copy is updated in place, so ww sharing replicates lines
+// instead of migrating them and a crash loses a line only if the crashed
+// node held its sole copy.
+func (m *Machine) writeBroadcastLocked(nd NodeID, ln *line, l LineID, off int, data []byte) error {
+	if !ln.holders.has(nd) {
+		ln.holders.add(nd)
+		m.stats.RemoteFetches++
+		m.stats.Replications++
+		m.clocks[nd] += m.cfg.Cost.RemoteFetch
+	} else {
+		m.stats.LocalHits++
+		m.clocks[nd] += m.cfg.Cost.WriteLocal
+	}
+	remote := ln.holders.count() - 1
+	if remote > 0 {
+		m.stats.Broadcasts++
+		m.clocks[nd] += int64(remote) * m.cfg.Cost.BroadcastPerSharer
+	}
+	// The broadcast keeps every copy current; exclusivity is not tracked.
+	ln.excl = NoNode
+	copy(ln.data[off:], data)
+	return nil
+}
+
+// Install loads content into line l and makes node nd its (exclusive) sole
+// holder. The buffer manager calls it after reading a page from the stable
+// database; restart recovery calls it to rebuild caches. Any previously
+// cached copies are replaced. The caller is responsible for charging disk
+// time via AdvanceClock; Install itself charges only the local store.
+func (m *Machine) Install(nd NodeID, l LineID, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(l, 0, len(data)); err != nil {
+		return err
+	}
+	if !m.aliveLocked(nd) {
+		return ErrNodeDown
+	}
+	ln := &m.lines[l]
+	if ln.lock.held {
+		return ErrLineLockHeld
+	}
+	if ln.data == nil {
+		ln.data = make([]byte, m.cfg.LineSize)
+	}
+	copy(ln.data, data)
+	for i := len(data); i < m.cfg.LineSize; i++ {
+		ln.data[i] = 0
+	}
+	ln.valid = true
+	ln.holders = 0
+	ln.holders.add(nd)
+	ln.excl = nd
+	ln.active = false
+	m.stats.Installs++
+	m.clocks[nd] += m.cfg.Cost.WriteLocal
+	return nil
+}
+
+// Discard drops node nd's cached copy of line l, if any. If that was the
+// only copy, the line's content is destroyed (shared memory is the union of
+// the caches): this is exactly the "discard all cached database records"
+// step of the Redo All restart scheme, and also how the buffer manager
+// evicts a page after writing it back. Discard of a line-locked line fails.
+func (m *Machine) Discard(nd NodeID, l LineID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLine(l); err != nil {
+		return err
+	}
+	ln := &m.lines[l]
+	if ln.lock.held {
+		return ErrLineLockHeld
+	}
+	if !ln.valid || !ln.holders.has(nd) {
+		return nil
+	}
+	ln.holders.remove(nd)
+	if ln.excl == nd {
+		ln.excl = NoNode
+	}
+	m.stats.Discards++
+	if ln.holders.empty() {
+		ln.valid = false
+		ln.active = false
+		for i := range ln.data {
+			ln.data[i] = 0
+		}
+	}
+	return nil
+}
+
+// Resident reports whether line l is valid in at least one surviving cache.
+// Selective Redo uses it as the "cache miss with I/O disabled" probe of
+// section 4.1.2: if a memory reference cannot be satisfied by any surviving
+// node, no copy of the update exists and redo is required.
+func (m *Machine) Resident(l LineID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l < 0 || int(l) >= len(m.lines) {
+		return false
+	}
+	return m.lines[l].valid
+}
+
+// Holders returns the nodes currently caching line l (empty if lost).
+func (m *Machine) Holders(l LineID) []NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l < 0 || int(l) >= len(m.lines) || !m.lines[l].valid {
+		return nil
+	}
+	return m.lines[l].holders.nodes()
+}
+
+// ExclusiveHolder returns the node holding line l exclusively, or NoNode.
+func (m *Machine) ExclusiveHolder(l LineID) NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l < 0 || int(l) >= len(m.lines) || !m.lines[l].valid {
+		return NoNode
+	}
+	return m.lines[l].excl
+}
+
+// CachedLines returns, in ascending order, every allocated line with a valid
+// copy in node nd's cache. Selective Redo's undo phase performs its
+// "sequential search of all cache lines" with this.
+func (m *Machine) CachedLines(nd NodeID) []LineID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []LineID
+	for i := LineID(0); i < m.next; i++ {
+		if m.lines[i].valid && m.lines[i].holders.has(nd) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

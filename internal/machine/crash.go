@@ -1,0 +1,121 @@
+package machine
+
+// Crash injection and the low-level (hardware) recovery step. Following the
+// FLASH design sketched in section 2 of the paper, a node failure is detected
+// by the (simulated) diagnostic processor; all caches whose node failed are
+// destroyed; and the interconnect restores the cache directories to a
+// consistent state reflecting the surviving caches. Software recovery — the
+// paper's actual contribution — runs on top of this.
+
+// CrashReport describes the memory damage of a crash: which lines lost their
+// only copy and were destroyed, and which survived on other nodes.
+type CrashReport struct {
+	// Crashed lists the nodes taken down by this call.
+	Crashed []NodeID
+	// LostLines are lines whose only valid copies were on crashed nodes;
+	// their contents are gone.
+	LostLines []LineID
+	// OrphanedLines are lines that survive on at least one live node but
+	// had a copy (shared or exclusive) on a crashed node; uncommitted
+	// crashed-node updates may live on in these (the undo problem).
+	OrphanedLines []LineID
+}
+
+// Crash fails the given nodes: their cache contents and any in-progress
+// state are destroyed, line locks they held are broken, and the directory is
+// restored to a consistent state. Crash is idempotent for already-down
+// nodes. It returns a report of the lines destroyed and orphaned.
+func (m *Machine) Crash(nodes ...NodeID) CrashReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rep CrashReport
+	var down bitset
+	for _, n := range nodes {
+		if n < 0 || int(n) >= len(m.alive) || !m.alive[n] {
+			continue
+		}
+		m.alive[n] = false
+		m.stats.Crashes++
+		down.add(n)
+		rep.Crashed = append(rep.Crashed, n)
+	}
+	if down.empty() {
+		return rep
+	}
+	for i := LineID(0); i < m.next; i++ {
+		ln := &m.lines[i]
+		// Break line locks held by crashed nodes so survivors blocked in
+		// GetLine can proceed (the low-level recovery interrupts all CPUs
+		// and repairs the interconnect state).
+		if ln.lock.held && down.has(ln.lock.owner) {
+			ln.lock.held = false
+			ln.lock.owner = NoNode
+		}
+		if !ln.valid {
+			continue
+		}
+		touched := false
+		for _, n := range down.nodes() {
+			if ln.holders.has(n) {
+				ln.holders.remove(n)
+				touched = true
+			}
+		}
+		if !touched {
+			continue
+		}
+		if ln.excl != NoNode && down.has(ln.excl) {
+			ln.excl = NoNode
+		}
+		if ln.holders.empty() {
+			// The only copy was on a crashed node: destroyed.
+			ln.valid = false
+			ln.active = false
+			for j := range ln.data {
+				ln.data[j] = 0
+			}
+			m.stats.LinesLost++
+			rep.LostLines = append(rep.LostLines, i)
+		} else {
+			rep.OrphanedLines = append(rep.OrphanedLines, i)
+		}
+	}
+	m.cond.Broadcast()
+	return rep
+}
+
+// Restart brings a crashed node back up with a cold (empty) cache. Its
+// simulated clock is advanced to the maximum across nodes, modelling the
+// repair delay.
+func (m *Machine) Restart(n NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 || int(n) >= len(m.alive) {
+		return ErrBadAddress
+	}
+	if m.alive[n] {
+		return nil
+	}
+	m.alive[n] = true
+	var max int64
+	for _, c := range m.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	m.clocks[n] = max
+	return nil
+}
+
+// AliveNodes returns the IDs of all live nodes in ascending order.
+func (m *Machine) AliveNodes() []NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeID, 0, len(m.alive))
+	for i, a := range m.alive {
+		if a {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

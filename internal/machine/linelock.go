@@ -1,0 +1,136 @@
+package machine
+
+// Line locks (the KSR-1's gsp/rsp "get/release subpage" primitives, renamed
+// getline/releaseline in the paper) pin a cache line in the caller's cache
+// in a mutually-exclusive state. While held, no other node can read or write
+// the line, so an in-place update and the write of its log record become
+// atomic with respect to cache-line migration. This is the mechanism that
+// makes Volatile LBM nearly free (section 5.1) and that enforces the ordered
+// update logging rule (section 6).
+
+// GetLine acquires the line lock on l for node nd, blocking (the calling
+// goroutine) while another node holds it. On success the line is exclusively
+// resident in nd's cache. The simulated cost is LineLockLocal if the line was
+// already exclusive locally and LineLockRemote otherwise, plus queueing delay
+// chained through earlier holders (which is what produces the paper's
+// contention curve).
+func (m *Machine) GetLine(nd NodeID, l LineID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLine(l); err != nil {
+		return err
+	}
+	if !m.aliveLocked(nd) {
+		return ErrNodeDown
+	}
+	ln := &m.lines[l]
+	if !ln.valid {
+		return ErrLineLost
+	}
+	m.stats.LineLockAcquires++
+	if ln.lock.held {
+		m.stats.LineLockContended++
+	}
+	ln.lock.waiters++
+	for ln.lock.held {
+		m.cond.Wait()
+		if !m.aliveLocked(nd) {
+			ln.lock.waiters--
+			return ErrNodeDown
+		}
+		if !ln.valid {
+			ln.lock.waiters--
+			return ErrLineLost
+		}
+	}
+	ln.lock.waiters--
+
+	// Simulated queueing: we cannot start acquiring before the lock's
+	// simulated free time.
+	start := m.clocks[nd]
+	if ln.lock.freeAt > start {
+		start = ln.lock.freeAt
+	}
+	cost := m.cfg.Cost.LineLockRemote
+	if ln.excl == nd {
+		cost = m.cfg.Cost.LineLockLocal
+	}
+	// Acquiring the lock also acquires the line exclusively, with the same
+	// coherency side effects as a write.
+	if ln.excl != NoNode && ln.excl != nd {
+		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
+			return err
+		}
+		m.stats.Migrations++
+		ln.holders = 0
+	} else if !ln.holders.sole(nd) {
+		others := ln.holders
+		others.remove(nd)
+		if !others.empty() {
+			if err := m.fire(l, EventInvalidate, others.lowest(), nd, nd); err != nil {
+				return err
+			}
+			m.stats.Invalidations += int64(others.count())
+		}
+		ln.holders = 0
+	}
+	ln.holders.add(nd)
+	ln.excl = nd
+	ln.lock.held = true
+	ln.lock.owner = nd
+	m.clocks[nd] = start + cost
+	return nil
+}
+
+// TryGetLine is GetLine without blocking: it reports false if the lock is
+// held by another node.
+func (m *Machine) TryGetLine(nd NodeID, l LineID) (bool, error) {
+	m.mu.Lock()
+	locked := false
+	if err := m.checkLine(l); err != nil {
+		m.mu.Unlock()
+		return false, err
+	}
+	if m.lines[l].lock.held && m.lines[l].lock.owner != nd {
+		locked = true
+	}
+	m.mu.Unlock()
+	if locked {
+		return false, nil
+	}
+	if err := m.GetLine(nd, l); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ReleaseLine releases the line lock on l held by node nd.
+func (m *Machine) ReleaseLine(nd NodeID, l LineID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLine(l); err != nil {
+		return err
+	}
+	ln := &m.lines[l]
+	if !ln.lock.held || ln.lock.owner != nd {
+		return ErrNotLockHolder
+	}
+	m.clocks[nd] += m.cfg.Cost.LineLockRelease
+	ln.lock.held = false
+	ln.lock.owner = NoNode
+	// The lock becomes free, in simulated time, when the releasing node's
+	// clock reaches this instant; waiters chain their start times from it.
+	ln.lock.freeAt = m.clocks[nd]
+	m.cond.Broadcast()
+	return nil
+}
+
+// LineLockHeldBy returns the node holding the line lock on l, or NoNode.
+func (m *Machine) LineLockHeldBy(l LineID) NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l < 0 || int(l) >= len(m.lines) || !m.lines[l].lock.held {
+		return NoNode
+	}
+	return m.lines[l].lock.owner
+}

@@ -1,0 +1,392 @@
+// Package machine simulates a cache-coherent shared-memory multiprocessor
+// with independent node failures, in the style of the KSR-1 and the Stanford
+// FLASH machines assumed by Molesky & Ramamritham (SIGMOD 1995).
+//
+// A node is a processor/memory pair. Shared memory is a flat array of cache
+// lines; every valid line is resident in one or more node caches (an
+// ALLCACHE-style model: memory *is* the union of the caches, and anything not
+// cached anywhere must be re-fetched from disk by the database layers above).
+// The hardware keeps the caches coherent with a write-invalidate protocol (a
+// write-broadcast variant is also provided), so a line can migrate and
+// replicate between nodes as a side effect of ordinary reads and writes.
+//
+// A node crash destroys the contents of that node's cache: every line whose
+// only valid copy was on the crashed node is lost. The machine then performs
+// the FLASH-style low-level recovery step, restoring the coherency directory
+// to a state consistent with the surviving caches. Everything above this
+// (undo, redo, IFA) is the job of the database recovery protocols.
+//
+// The machine also provides the two hardware hooks the paper's protocols
+// rely on:
+//
+//   - line locks (KSR-1 gsp/rsp, here GetLine/ReleaseLine), which pin a line
+//     exclusively in the caller's cache so an update and its log write can be
+//     made atomic with respect to migration, and
+//   - a per-line "active data" bit with a pre-transition callback, the
+//     coherency-protocol extension of section 5.2 used to trigger log forces
+//     exactly when an active line is about to be downgraded or invalidated.
+//
+// All operations advance a per-node simulated clock according to a CostModel,
+// so experiments can report latencies in simulated time with the shape (not
+// the absolute values) of the paper's 1995 hardware.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// NodeID identifies a processor/memory pair. Nodes are numbered from 0.
+type NodeID int32
+
+// NoNode is the null node identifier (for example, the undo tag of a record
+// with no active transaction, or the owner of an unowned line).
+const NoNode NodeID = -1
+
+// LineID identifies a cache line in the shared address space.
+type LineID int32
+
+// NoLine is the null line identifier.
+const NoLine LineID = -1
+
+// Coherency selects the hardware cache-coherency protocol.
+type Coherency int
+
+const (
+	// WriteInvalidate invalidates all other cached copies before a write,
+	// so the writer ends up with the only copy (the paper's main model).
+	WriteInvalidate Coherency = iota
+	// WriteBroadcast propagates writes to every cached copy, so write-write
+	// sharing replicates rather than migrates lines (section 7).
+	WriteBroadcast
+)
+
+func (c Coherency) String() string {
+	switch c {
+	case WriteInvalidate:
+		return "write-invalidate"
+	case WriteBroadcast:
+		return "write-broadcast"
+	default:
+		return fmt.Sprintf("Coherency(%d)", int(c))
+	}
+}
+
+// Errors returned by machine operations.
+var (
+	// ErrLineLost reports an access to a line that is valid in no cache:
+	// either it was never installed, or a node crash destroyed its only
+	// copy. The database layer reacts by re-fetching from stable storage
+	// (or, during Selective Redo's probe phase, by scheduling a redo).
+	ErrLineLost = errors.New("machine: cache line not resident in any cache")
+	// ErrNodeDown reports an operation issued by or to a crashed node.
+	ErrNodeDown = errors.New("machine: node is down")
+	// ErrBadAddress reports an out-of-range line or byte offset.
+	ErrBadAddress = errors.New("machine: bad address")
+	// ErrNotLockHolder reports a ReleaseLine by a node that does not hold
+	// the line lock.
+	ErrNotLockHolder = errors.New("machine: caller does not hold line lock")
+	// ErrLineLockHeld reports a destructive operation (Discard, Install)
+	// on a line whose line lock is held.
+	ErrLineLockHeld = errors.New("machine: line lock held")
+)
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// Nodes is the number of processor/memory pairs (1..64).
+	Nodes int
+	// LineSize is the coherency unit in bytes. The KSR-1 and FLASH both
+	// use 128-byte lines; that is the default.
+	LineSize int
+	// Lines is the number of cache lines of shared memory.
+	Lines int
+	// Coherency selects write-invalidate (default) or write-broadcast.
+	Coherency Coherency
+	// Cost is the simulated-time cost model. Zero fields are filled with
+	// DefaultCostModel values.
+	Cost CostModel
+}
+
+func (c *Config) setDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.LineSize == 0 {
+		c.LineSize = 128
+	}
+	if c.Lines == 0 {
+		c.Lines = 1 << 16
+	}
+	c.Cost.setDefaults()
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 1 || c.Nodes > 64 {
+		return fmt.Errorf("machine: Nodes must be in 1..64, got %d", c.Nodes)
+	}
+	if c.LineSize < 8 {
+		return fmt.Errorf("machine: LineSize must be >= 8, got %d", c.LineSize)
+	}
+	if c.Lines < 1 {
+		return fmt.Errorf("machine: Lines must be >= 1, got %d", c.Lines)
+	}
+	return nil
+}
+
+// lineLock is the hardware line-lock state of one cache line.
+type lineLock struct {
+	held    bool
+	owner   NodeID
+	waiters int
+	// freeAt is the simulated time at which the lock last became (or will
+	// become) free; it chains queueing delay through successive holders.
+	freeAt int64
+}
+
+// line is one cache line plus its directory entry.
+type line struct {
+	data    []byte
+	valid   bool   // resident in at least one cache
+	holders bitset // nodes with a valid copy
+	excl    NodeID // node with the (sole, writable) copy; NoNode if shared
+	active  bool   // "contains active data" trigger bit (section 5.2)
+	lock    lineLock
+}
+
+// EventKind classifies coherency-protocol transitions that can expose
+// uncommitted data to remote failure domains.
+type EventKind int
+
+const (
+	// EventMigrate: an exclusively held line moves to another node because
+	// of a remote write (history H_ww1/H_ww2). The old copy is invalidated.
+	EventMigrate EventKind = iota
+	// EventDowngrade: an exclusively held line is downgraded to shared
+	// because of a remote read (history H_wr). Copies then exist on both
+	// nodes.
+	EventDowngrade
+	// EventInvalidate: shared copies are invalidated because some node
+	// writes the line.
+	EventInvalidate
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventMigrate:
+		return "migrate"
+	case EventDowngrade:
+		return "downgrade"
+	case EventInvalidate:
+		return "invalidate"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes a coherency transition on a line whose active bit is set.
+type Event struct {
+	Line LineID
+	Kind EventKind
+	// From is the node losing exclusivity (migrate, downgrade) or one of
+	// the nodes losing its shared copy (invalidate; From is the lowest).
+	From NodeID
+	// To is the node acquiring the line.
+	To NodeID
+}
+
+// PreTransitionFunc is invoked, with the machine lock held, immediately
+// before a coherency transition on a line whose active bit is set. It is the
+// software half of the section 5.2 hardware extension: the recovery policy
+// uses it to force log records to stable store before uncommitted data
+// becomes visible to (or dependent on) another failure domain. The returned
+// duration (simulated nanoseconds) is charged to the node that triggered the
+// transition. The callback must not call back into the Machine.
+type PreTransitionFunc func(ev Event) (cost int64, err error)
+
+// Machine is a simulated cache-coherent shared-memory multiprocessor.
+// All methods are safe for concurrent use by multiple goroutines.
+type Machine struct {
+	cfg Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond // line-lock waiters
+	lines  []line
+	alive  []bool
+	clocks []int64 // per-node simulated nanoseconds
+	next   LineID  // bump allocator
+	stats  Stats
+
+	preTransition PreTransitionFunc
+}
+
+// New constructs a machine. It panics on an invalid configuration, since a
+// configuration is always programmer-provided.
+func New(cfg Config) *Machine {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:    cfg,
+		lines:  make([]line, cfg.Lines),
+		alive:  make([]bool, cfg.Nodes),
+		clocks: make([]int64, cfg.Nodes),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	for i := range m.lines {
+		m.lines[i].excl = NoNode
+		m.lines[i].lock.owner = NoNode
+	}
+	return m
+}
+
+// Config returns the machine's configuration (with defaults applied).
+func (m *Machine) Config() Config { return m.cfg }
+
+// Nodes returns the number of nodes.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// LineSize returns the coherency unit in bytes.
+func (m *Machine) LineSize() int { return m.cfg.LineSize }
+
+// Alloc reserves n consecutive cache lines of shared memory and returns the
+// first LineID. Allocation is a simple bump pointer; freed regions are not
+// reused (database structures in this reproduction live for the life of the
+// machine). Alloc panics if the machine is out of lines, which indicates a
+// mis-sized Config rather than a runtime condition.
+func (m *Machine) Alloc(n int) LineID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(m.next)+n > len(m.lines) {
+		panic(fmt.Sprintf("machine: out of shared memory (%d lines in use, %d requested, %d total)",
+			m.next, n, len(m.lines)))
+	}
+	base := m.next
+	m.next += LineID(n)
+	return base
+}
+
+// Alive reports whether node n is up.
+func (m *Machine) Alive(n NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aliveLocked(n)
+}
+
+func (m *Machine) aliveLocked(n NodeID) bool {
+	return n >= 0 && int(n) < len(m.alive) && m.alive[n]
+}
+
+// SetPreTransition installs the coherency-event callback used by triggered
+// Stable LBM. Passing nil removes it.
+func (m *Machine) SetPreTransition(f PreTransitionFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.preTransition = f
+}
+
+// SetActive sets or clears the per-line "contains active data" bit
+// (section 5.2). The caller should hold the line (via line lock or
+// exclusivity); the machine does not check.
+func (m *Machine) SetActive(l LineID, on bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLine(l); err != nil {
+		return err
+	}
+	m.lines[l].active = on
+	return nil
+}
+
+// Active reports the line's active-data bit.
+func (m *Machine) Active(l LineID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l < 0 || int(l) >= len(m.lines) {
+		return false
+	}
+	return m.lines[l].active
+}
+
+// Clock returns node n's simulated clock in nanoseconds.
+func (m *Machine) Clock(n NodeID) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 || int(n) >= len(m.clocks) {
+		return 0
+	}
+	return m.clocks[n]
+}
+
+// MaxClock returns the maximum simulated clock across nodes: the simulated
+// makespan of the run so far.
+func (m *Machine) MaxClock() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max int64
+	for _, c := range m.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// AdvanceClock charges d simulated nanoseconds to node n. Database layers
+// use it for work that happens outside the machine proper (disk I/O, log
+// forces, message passing).
+func (m *Machine) AdvanceClock(n NodeID, d int64) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n >= 0 && int(n) < len(m.clocks) {
+		m.clocks[n] += d
+	}
+}
+
+// checkLine validates a line id.
+func (m *Machine) checkLine(l LineID) error {
+	if l < 0 || int(l) >= len(m.lines) {
+		return fmt.Errorf("%w: line %d of %d", ErrBadAddress, l, len(m.lines))
+	}
+	return nil
+}
+
+// checkRange validates a byte range within a line.
+func (m *Machine) checkRange(l LineID, off, n int) error {
+	if err := m.checkLine(l); err != nil {
+		return err
+	}
+	if off < 0 || n < 0 || off+n > m.cfg.LineSize {
+		return fmt.Errorf("%w: [%d,%d) of %d-byte line", ErrBadAddress, off, off+n, m.cfg.LineSize)
+	}
+	return nil
+}
+
+// fire invokes the pre-transition callback if the line's active bit is set,
+// charging the returned cost to node charge. On success the active bit is
+// cleared, as the paper's section 5.2 hardware extension specifies ("log
+// forces would clear the bits of all associated cache lines"): the callback
+// has made the line's pending log records stable, so later transitions need
+// no further forces until the line is updated again. Called with m.mu held.
+func (m *Machine) fire(l LineID, kind EventKind, from, to, charge NodeID) error {
+	ln := &m.lines[l]
+	if !ln.active || m.preTransition == nil {
+		return nil
+	}
+	cost, err := m.preTransition(Event{Line: l, Kind: kind, From: from, To: to})
+	if charge >= 0 && int(charge) < len(m.clocks) {
+		m.clocks[charge] += cost
+	}
+	m.stats.TriggerFires++
+	if err == nil {
+		ln.active = false
+	}
+	return err
+}

@@ -1,0 +1,269 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// opScript is a randomly generated sequence of machine operations, used to
+// check coherency invariants under arbitrary interleavings.
+type opScript struct {
+	Seed int64
+	N    uint8 // operation count
+}
+
+// Generate implements quick.Generator.
+func (opScript) Generate(r *rand.Rand, _ int) interface{} {
+	return opScript{Seed: r.Int63(), N: uint8(r.Intn(200) + 20)}
+}
+
+// runScript executes the script against a small machine, mirroring every
+// write into a model map, and returns the machine plus the model.
+func runScript(s opScript) (*Machine, map[LineID][]byte, []bool) {
+	return runScriptCoherency(s, WriteInvalidate)
+}
+
+func runScriptCoherency(s opScript, coh Coherency) (*Machine, map[LineID][]byte, []bool) {
+	const nodes, nlines = 4, 8
+	r := rand.New(rand.NewSource(s.Seed))
+	m := New(Config{Nodes: nodes, Lines: nlines, LineSize: 32, Coherency: coh})
+	model := make(map[LineID][]byte) // expected contents of valid lines
+	alive := make([]bool, nodes)
+	for i := range alive {
+		alive[i] = true
+	}
+	base := m.Alloc(nlines)
+	for i := 0; i < int(s.N); i++ {
+		nd := NodeID(r.Intn(nodes))
+		l := base + LineID(r.Intn(nlines))
+		switch r.Intn(10) {
+		case 0, 1: // install
+			if !alive[nd] {
+				continue
+			}
+			data := make([]byte, 32)
+			r.Read(data)
+			if err := m.Install(nd, l, data); err == nil {
+				model[l] = append([]byte(nil), data...)
+			}
+		case 2, 3, 4: // write
+			off := r.Intn(28)
+			data := make([]byte, r.Intn(4)+1)
+			r.Read(data)
+			if err := m.Write(nd, l, off, data); err == nil {
+				if mb, ok := model[l]; ok {
+					copy(mb[off:], data)
+				}
+			}
+		case 5, 6, 7: // read (checked by caller)
+			_, _ = m.Read(nd, l, 0, 32)
+		case 8: // discard
+			before := m.Holders(l)
+			if err := m.Discard(nd, l); err == nil && len(before) == 1 && before[0] == nd {
+				delete(model, l)
+			}
+		case 9: // crash / restart
+			if alive[nd] && r.Intn(3) == 0 {
+				rep := m.Crash(nd)
+				alive[nd] = false
+				for _, lost := range rep.LostLines {
+					delete(model, lost)
+				}
+			} else if !alive[nd] {
+				_ = m.Restart(nd)
+				alive[nd] = true
+			}
+		}
+	}
+	return m, model, alive
+}
+
+// TestQuickCoherenceMatchesModel checks that under any operation sequence,
+// every line that the machine says is resident holds exactly the bytes of
+// the most recent surviving write, observed identically from every live node
+// (single-writer coherence: all copies are interchangeable).
+func TestQuickCoherenceMatchesModel(t *testing.T) {
+	f := func(s opScript) bool {
+		m, model, alive := runScript(s)
+		for l, want := range model {
+			if !m.Resident(l) {
+				t.Logf("seed %d: line %d in model but not resident", s.Seed, l)
+				return false
+			}
+			for nd := NodeID(0); int(nd) < m.Nodes(); nd++ {
+				if !alive[nd] {
+					continue
+				}
+				got, err := m.Read(nd, l, 0, 32)
+				if err != nil {
+					t.Logf("seed %d: read(%d,%d): %v", s.Seed, nd, l, err)
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Logf("seed %d: line %d byte %d: got %d want %d (node %d)",
+							s.Seed, l, i, got[i], want[i], nd)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDirectoryInvariants checks structural invariants after random
+// operation sequences: a valid line has at least one live holder; an
+// exclusive holder is the sole holder; crashed nodes hold nothing.
+func TestQuickDirectoryInvariants(t *testing.T) {
+	f := func(s opScript) bool {
+		m, _, alive := runScript(s)
+		for l := LineID(0); l < 8; l++ {
+			holders := m.Holders(l)
+			if m.Resident(l) && len(holders) == 0 {
+				t.Logf("seed %d: resident line %d with no holders", s.Seed, l)
+				return false
+			}
+			if ex := m.ExclusiveHolder(l); ex != NoNode {
+				if len(holders) != 1 || holders[0] != ex {
+					t.Logf("seed %d: line %d exclusive at %d but holders %v", s.Seed, l, ex, holders)
+					return false
+				}
+			}
+			for _, h := range holders {
+				if !alive[h] {
+					t.Logf("seed %d: dead node %d holds line %d", s.Seed, h, l)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClocksMonotonic checks that simulated clocks never move backwards.
+func TestQuickClocksMonotonic(t *testing.T) {
+	f := func(s opScript) bool {
+		const nodes, nlines = 4, 8
+		r := rand.New(rand.NewSource(s.Seed))
+		m := New(Config{Nodes: nodes, Lines: nlines, LineSize: 32})
+		base := m.Alloc(nlines)
+		prev := make([]int64, nodes)
+		for i := 0; i < int(s.N); i++ {
+			nd := NodeID(r.Intn(nodes))
+			l := base + LineID(r.Intn(nlines))
+			switch r.Intn(3) {
+			case 0:
+				_ = m.Install(nd, l, make([]byte, 32))
+			case 1:
+				_ = m.Write(nd, l, 0, []byte{byte(i)})
+			case 2:
+				_, _ = m.Read(nd, l, 0, 8)
+			}
+			for n := 0; n < nodes; n++ {
+				c := m.Clock(NodeID(n))
+				if c < prev[n] {
+					t.Logf("seed %d: clock %d went backwards %d -> %d", s.Seed, n, prev[n], c)
+					return false
+				}
+				prev[n] = c
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBitset exercises the bitset helper.
+func TestQuickBitset(t *testing.T) {
+	f := func(raw uint16) bool {
+		var b bitset
+		want := map[NodeID]bool{}
+		for i := 0; i < 16; i++ {
+			if raw&(1<<i) != 0 {
+				b.add(NodeID(i))
+				want[NodeID(i)] = true
+			}
+		}
+		if b.count() != len(want) {
+			return false
+		}
+		for n := NodeID(0); n < 16; n++ {
+			if b.has(n) != want[n] {
+				return false
+			}
+		}
+		ns := b.nodes()
+		if len(ns) != len(want) {
+			return false
+		}
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] >= ns[i] {
+				return false
+			}
+		}
+		if len(ns) > 0 && b.lowest() != ns[0] {
+			return false
+		}
+		if len(ns) == 1 && !b.sole(ns[0]) {
+			return false
+		}
+		if len(ns) != 1 && len(ns) > 0 && b.sole(ns[0]) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWriteBroadcastCoherence runs the model-based coherence check
+// under the write-broadcast protocol: all copies stay interchangeable, and
+// a line survives a crash whenever any other node holds a copy.
+func TestQuickWriteBroadcastCoherence(t *testing.T) {
+	f := func(s opScript) bool {
+		m, model, alive := runScriptCoherency(s, WriteBroadcast)
+		for l, want := range model {
+			if !m.Resident(l) {
+				t.Logf("seed %d: line %d in model but not resident", s.Seed, l)
+				return false
+			}
+			for nd := NodeID(0); int(nd) < m.Nodes(); nd++ {
+				if !alive[nd] {
+					continue
+				}
+				got, err := m.Read(nd, l, 0, 32)
+				if err != nil {
+					t.Logf("seed %d: read(%d,%d): %v", s.Seed, nd, l, err)
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Logf("seed %d: line %d byte %d: got %d want %d (node %d)",
+							s.Seed, l, i, got[i], want[i], nd)
+						return false
+					}
+				}
+			}
+		}
+		// Broadcast never migrates on plain writes.
+		if st := m.Stats(); st.Migrations != 0 {
+			t.Logf("seed %d: %d migrations under write-broadcast", s.Seed, st.Migrations)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

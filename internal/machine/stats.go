@@ -1,0 +1,54 @@
+package machine
+
+// Stats counts coherency traffic and failure events. The recovery
+// experiments use these to relate protocol overheads to the sharing
+// behaviour that causes them.
+type Stats struct {
+	// Reads and Writes are total loads/stores issued.
+	Reads, Writes int64
+	// LocalHits are accesses satisfied by the local cache.
+	LocalHits int64
+	// RemoteFetches are accesses serviced from another node's cache.
+	RemoteFetches int64
+	// Migrations are exclusive-to-exclusive transfers caused by remote
+	// writes (histories H_ww1/H_ww2): the old holder loses its copy.
+	Migrations int64
+	// Downgrades are exclusive-to-shared transitions caused by remote
+	// reads (history H_wr).
+	Downgrades int64
+	// Replications are copies created in additional caches by reads.
+	Replications int64
+	// Invalidations are shared copies destroyed by writes.
+	Invalidations int64
+	// Broadcasts are write-broadcast update rounds.
+	Broadcasts int64
+	// Installs are lines loaded from outside (disk) into a cache.
+	Installs int64
+	// Discards are cached copies dropped by software (cache flush).
+	Discards int64
+	// LineLockAcquires and LineLockContended count GetLine calls and the
+	// subset that found the lock held.
+	LineLockAcquires, LineLockContended int64
+	// TriggerFires counts pre-transition callback invocations on active
+	// lines (the section 5.2 hardware extension).
+	TriggerFires int64
+	// Crashes is the number of node crashes injected.
+	Crashes int64
+	// LinesLost is the number of valid lines destroyed by crashes (their
+	// only copy was on a crashed node).
+	LinesLost int64
+}
+
+// Stats returns a snapshot of the machine's counters.
+func (m *Machine) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (the clock and memory state are unchanged).
+func (m *Machine) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}

@@ -1,0 +1,226 @@
+package osstruct
+
+import (
+	"fmt"
+
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+// DiskMap is the "map used to catalog disk usage" of section 9: a bitmap of
+// disk blocks in shared memory, one bit per block, spread across cache
+// lines. Any node allocates or frees blocks; the bitmap lines migrate
+// between nodes like any shared data. Every state change is logged to the
+// operating node's (volatile) log inside the line-lock critical section —
+// the volatile LBM discipline — so a crash can always be repaired:
+// destroyed bitmap lines are rebuilt from the surviving logs, and blocks
+// whose allocation is attributable only to a crashed node are reclaimed.
+type DiskMap struct {
+	M *machine.Machine
+	// Logs hold each node's allocation/free records.
+	Logs []*wal.Log
+
+	base   machine.LineID
+	blocks int
+}
+
+// NewDiskMap creates a map of nBlocks blocks, all free.
+func NewDiskMap(m *machine.Machine, nBlocks int) (*DiskMap, error) {
+	lines := (nBlocks + m.LineSize()*8 - 1) / (m.LineSize() * 8)
+	if lines == 0 {
+		lines = 1
+	}
+	d := &DiskMap{M: m, base: m.Alloc(lines), blocks: nBlocks}
+	img := make([]byte, m.LineSize())
+	for i := 0; i < lines; i++ {
+		if err := m.Install(0, d.base+machine.LineID(i), img); err != nil {
+			return nil, err
+		}
+	}
+	d.Logs = make([]*wal.Log, m.Nodes())
+	for i := range d.Logs {
+		var err error
+		d.Logs[i], err = wal.NewLog(machine.NodeID(i), storage.NewLogDevice())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Blocks returns the map's capacity.
+func (d *DiskMap) Blocks() int { return d.blocks }
+
+// locate returns block b's line and bit position.
+func (d *DiskMap) locate(b int) (machine.LineID, int, int) {
+	bitsPerLine := d.M.LineSize() * 8
+	return d.base + machine.LineID(b/bitsPerLine), (b % bitsPerLine) / 8, b % 8
+}
+
+// Alloc finds and claims a free block on behalf of node nd.
+func (d *DiskMap) Alloc(nd machine.NodeID) (int, error) {
+	bitsPerLine := d.M.LineSize() * 8
+	lines := (d.blocks + bitsPerLine - 1) / bitsPerLine
+	for li := 0; li < lines; li++ {
+		l := d.base + machine.LineID(li)
+		if err := d.M.GetLine(nd, l); err != nil {
+			return -1, err
+		}
+		raw, err := d.M.Read(nd, l, 0, d.M.LineSize())
+		if err != nil {
+			d.M.ReleaseLine(nd, l)
+			return -1, err
+		}
+		limit := d.blocks - li*bitsPerLine
+		for bit := 0; bit < bitsPerLine && bit < limit; bit++ {
+			byteIdx, mask := bit/8, byte(1)<<(bit%8)
+			if raw[byteIdx]&mask == 0 {
+				raw[byteIdx] |= mask
+				block := li*bitsPerLine + bit
+				if err := d.M.Write(nd, l, byteIdx, raw[byteIdx:byteIdx+1]); err != nil {
+					d.M.ReleaseLine(nd, l)
+					return -1, err
+				}
+				// Log before the line can migrate.
+				d.Logs[nd].Append(wal.Record{Type: wal.TypeLockAcquire, Txn: wal.MakeTxnID(nd, 1), Lock: uint64(block)})
+				d.M.ReleaseLine(nd, l)
+				return block, nil
+			}
+		}
+		d.M.ReleaseLine(nd, l)
+	}
+	return -1, ErrNoSpace
+}
+
+// Free releases block b on behalf of node nd.
+func (d *DiskMap) Free(nd machine.NodeID, b int) error {
+	if b < 0 || b >= d.blocks {
+		return fmt.Errorf("%w: %d", ErrBadBlock, b)
+	}
+	l, byteIdx, bit := d.locate(b)
+	if err := d.M.GetLine(nd, l); err != nil {
+		return err
+	}
+	defer d.M.ReleaseLine(nd, l)
+	raw, err := d.M.Read(nd, l, byteIdx, 1)
+	if err != nil {
+		return err
+	}
+	mask := byte(1) << bit
+	if raw[0]&mask == 0 {
+		return fmt.Errorf("%w: %d not allocated", ErrBadBlock, b)
+	}
+	raw[0] &^= mask
+	if err := d.M.Write(nd, l, byteIdx, raw); err != nil {
+		return err
+	}
+	d.Logs[nd].Append(wal.Record{Type: wal.TypeLockRelease, Txn: wal.MakeTxnID(nd, 1), Lock: uint64(b)})
+	return nil
+}
+
+// Allocated reports whether block b is currently marked allocated.
+func (d *DiskMap) Allocated(nd machine.NodeID, b int) (bool, error) {
+	if b < 0 || b >= d.blocks {
+		return false, fmt.Errorf("%w: %d", ErrBadBlock, b)
+	}
+	l, byteIdx, bit := d.locate(b)
+	raw, err := d.M.Read(nd, l, byteIdx, 1)
+	if err != nil {
+		return false, err
+	}
+	return raw[0]&(byte(1)<<bit) != 0, nil
+}
+
+// liveBlocks reconstructs the allocated-block set attributable to surviving
+// nodes from their logs: each node's allocations net of its own frees,
+// unioned. Blocks are leases — the allocating node is the only one that
+// frees them (per-node logs carry no cross-node ordering, so a foreign free
+// could not be sequenced against the owner's allocation anyway).
+func (d *DiskMap) liveBlocks(alive map[machine.NodeID]bool) map[int]bool {
+	out := make(map[int]bool)
+	for n, l := range d.Logs {
+		if !alive[machine.NodeID(n)] {
+			continue
+		}
+		net := make(map[int]int)
+		for _, rec := range l.Records(1) {
+			switch rec.Type {
+			case wal.TypeLockAcquire:
+				net[int(rec.Lock)]++
+			case wal.TypeLockRelease:
+				net[int(rec.Lock)]--
+			}
+		}
+		for b, c := range net {
+			if c > 0 {
+				out[b] = true
+			}
+		}
+	}
+	return out
+}
+
+// Recover repairs the disk map after a crash, on behalf of node nd:
+// destroyed bitmap lines are rebuilt from the survivors' logs (blocks whose
+// allocations died with the crashed nodes are thereby reclaimed), and
+// surviving lines have unaccountable (crashed-node) allocations cleared.
+// A subtlety the paper's early-commit rule covers: a block handed out to a
+// crashed node is safe to reclaim only because allocations here are leases
+// owned by the allocating node, not structural changes shared with others.
+// It returns lines rebuilt and blocks reclaimed.
+func (d *DiskMap) Recover(nd machine.NodeID, crashed []machine.NodeID) (rebuilt, reclaimed int, err error) {
+	alive := make(map[machine.NodeID]bool)
+	for _, a := range d.M.AliveNodes() {
+		alive[a] = true
+	}
+	live := d.liveBlocks(alive)
+	bitsPerLine := d.M.LineSize() * 8
+	lines := (d.blocks + bitsPerLine - 1) / bitsPerLine
+	for li := 0; li < lines; li++ {
+		l := d.base + machine.LineID(li)
+		img := make([]byte, d.M.LineSize())
+		limit := d.blocks - li*bitsPerLine
+		for bit := 0; bit < bitsPerLine && bit < limit; bit++ {
+			if live[li*bitsPerLine+bit] {
+				img[bit/8] |= byte(1) << (bit % 8)
+			}
+		}
+		if !d.M.Resident(l) {
+			if err := d.M.Install(nd, l, img); err != nil {
+				return rebuilt, reclaimed, err
+			}
+			rebuilt++
+			continue
+		}
+		// Surviving line: clear bits no survivor accounts for.
+		if err := d.M.GetLine(nd, l); err != nil {
+			return rebuilt, reclaimed, err
+		}
+		raw, err := d.M.Read(nd, l, 0, d.M.LineSize())
+		if err != nil {
+			d.M.ReleaseLine(nd, l)
+			return rebuilt, reclaimed, err
+		}
+		changed := false
+		for i := range raw {
+			if stale := raw[i] &^ img[i]; stale != 0 {
+				for bit := 0; bit < 8; bit++ {
+					if stale&(1<<bit) != 0 {
+						reclaimed++
+					}
+				}
+				raw[i] = img[i]
+				changed = true
+			}
+		}
+		if changed {
+			if err := d.M.Write(nd, l, 0, raw); err != nil {
+				d.M.ReleaseLine(nd, l)
+				return rebuilt, reclaimed, err
+			}
+		}
+		d.M.ReleaseLine(nd, l)
+	}
+	return rebuilt, reclaimed, nil
+}

@@ -1,0 +1,274 @@
+// Package osstruct applies the paper's recovery techniques to operating-
+// system data structures, as its conclusion (section 9) proposes: "many
+// operating system data structures, including semaphores, maps used to
+// catalog disk usage, and the disk buffer, lend themselves to a shared
+// memory implementation. Recovery techniques similar to ours can be applied
+// ... to ensure that the crash of one node does not necessarily affect the
+// integrity of the process management information on other nodes."
+//
+// Two structures are implemented, each living in the coherent shared memory
+// of the simulated machine and each with IFA-style recovery:
+//
+//   - SemTable — counting semaphores, one per cache line. Acquisitions are
+//     logged (volatile) per node, exactly like the lock manager's read-lock
+//     logging; after a crash, units held by dead nodes are released, and
+//     destroyed semaphore lines are rebuilt from the survivors' logs plus
+//     the (software-known) capacities.
+//
+//   - DiskMap — a free-space bitmap cataloguing disk blocks. Allocations
+//     and frees are logged before the bitmap line can migrate (the volatile
+//     LBM discipline); recovery rebuilds destroyed bitmap lines from the
+//     surviving logs and releases blocks allocated by crashed nodes that
+//     no survivor can account for.
+package osstruct
+
+import (
+	"errors"
+	"fmt"
+
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+// Errors.
+var (
+	// ErrNoUnits reports a P operation on an exhausted semaphore.
+	ErrNoUnits = errors.New("osstruct: no semaphore units available")
+	// ErrNotHolder reports a V by a node holding no unit.
+	ErrNotHolder = errors.New("osstruct: node holds no unit of semaphore")
+	// ErrNoSpace reports an allocation on a full disk map.
+	ErrNoSpace = errors.New("osstruct: no free blocks")
+	// ErrBadBlock reports an out-of-range or unallocated block.
+	ErrBadBlock = errors.New("osstruct: bad block")
+)
+
+// Semaphore line layout: value (2 bytes) | nholders (2) | holder node IDs
+// (1 byte each, node+1). One semaphore per cache line, so a node crash
+// destroys all or none of it — the paper's one-line LCB discipline.
+const (
+	semValueOff   = 0
+	semNHoldOff   = 2
+	semHoldersOff = 4
+)
+
+// SemTable is a shared-memory table of counting semaphores.
+type SemTable struct {
+	M *machine.Machine
+	// Logs hold each node's semaphore operations (acquire/release), the
+	// recovery source for rebuilding destroyed lines.
+	Logs []*wal.Log
+
+	base machine.LineID
+	caps []int // configured capacity per semaphore (OS-known software state)
+}
+
+// NewSemTable creates one semaphore per entry of caps, initialized to full
+// capacity, with a private volatile/stable log per node.
+func NewSemTable(m *machine.Machine, caps []int) (*SemTable, error) {
+	s := &SemTable{M: m, base: m.Alloc(len(caps)), caps: append([]int(nil), caps...)}
+	for i, c := range caps {
+		if c < 0 || c > 255 {
+			return nil, fmt.Errorf("osstruct: capacity %d out of range", c)
+		}
+		img := make([]byte, m.LineSize())
+		img[semValueOff] = byte(c)
+		if err := m.Install(0, s.base+machine.LineID(i), img); err != nil {
+			return nil, err
+		}
+	}
+	s.Logs = make([]*wal.Log, m.Nodes())
+	for i := range s.Logs {
+		var err error
+		s.Logs[i], err = wal.NewLog(machine.NodeID(i), storage.NewLogDevice())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// line returns semaphore sem's cache line.
+func (s *SemTable) line(sem int) machine.LineID { return s.base + machine.LineID(sem) }
+
+// P acquires one unit of semaphore sem for node nd, or ErrNoUnits. The
+// logging-before-migration discipline applies: the line lock pins the line
+// across the update and the (volatile) log append.
+func (s *SemTable) P(nd machine.NodeID, sem int) error {
+	l := s.line(sem)
+	if err := s.M.GetLine(nd, l); err != nil {
+		return err
+	}
+	defer s.M.ReleaseLine(nd, l)
+	raw, err := s.M.Read(nd, l, 0, s.M.LineSize())
+	if err != nil {
+		return err
+	}
+	if raw[semValueOff] == 0 {
+		return ErrNoUnits
+	}
+	nh := int(raw[semNHoldOff])
+	if semHoldersOff+nh >= s.M.LineSize() {
+		return fmt.Errorf("osstruct: semaphore %d holder list full", sem)
+	}
+	raw[semValueOff]--
+	raw[semNHoldOff] = byte(nh + 1)
+	raw[semHoldersOff+nh] = byte(int(nd) + 1)
+	if err := s.M.Write(nd, l, 0, raw); err != nil {
+		return err
+	}
+	s.Logs[nd].Append(wal.Record{Type: wal.TypeLockAcquire, Txn: wal.MakeTxnID(nd, 1), Lock: uint64(sem)})
+	return nil
+}
+
+// V releases one of node nd's units of semaphore sem.
+func (s *SemTable) V(nd machine.NodeID, sem int) error {
+	l := s.line(sem)
+	if err := s.M.GetLine(nd, l); err != nil {
+		return err
+	}
+	defer s.M.ReleaseLine(nd, l)
+	raw, err := s.M.Read(nd, l, 0, s.M.LineSize())
+	if err != nil {
+		return err
+	}
+	nh := int(raw[semNHoldOff])
+	found := -1
+	for i := 0; i < nh; i++ {
+		if raw[semHoldersOff+i] == byte(int(nd)+1) {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("%w: node %d, semaphore %d", ErrNotHolder, nd, sem)
+	}
+	copy(raw[semHoldersOff+found:], raw[semHoldersOff+found+1:semHoldersOff+nh])
+	raw[semHoldersOff+nh-1] = 0
+	raw[semNHoldOff] = byte(nh - 1)
+	raw[semValueOff]++
+	if err := s.M.Write(nd, l, 0, raw); err != nil {
+		return err
+	}
+	s.Logs[nd].Append(wal.Record{Type: wal.TypeLockRelease, Txn: wal.MakeTxnID(nd, 1), Lock: uint64(sem)})
+	return nil
+}
+
+// Value returns semaphore sem's available units and the holder nodes.
+func (s *SemTable) Value(nd machine.NodeID, sem int) (int, []machine.NodeID, error) {
+	raw, err := s.M.Read(nd, s.line(sem), 0, s.M.LineSize())
+	if err != nil {
+		return 0, nil, err
+	}
+	nh := int(raw[semNHoldOff])
+	holders := make([]machine.NodeID, 0, nh)
+	for i := 0; i < nh; i++ {
+		holders = append(holders, machine.NodeID(int(raw[semHoldersOff+i])-1))
+	}
+	return int(raw[semValueOff]), holders, nil
+}
+
+// holdings reconstructs each surviving node's current unit counts per
+// semaphore from its (intact) log: acquisitions minus releases.
+func (s *SemTable) holdings(alive map[machine.NodeID]bool) map[int]map[machine.NodeID]int {
+	out := make(map[int]map[machine.NodeID]int)
+	for n, l := range s.Logs {
+		nd := machine.NodeID(n)
+		if !alive[nd] {
+			continue
+		}
+		for _, rec := range l.Records(1) {
+			sem := int(rec.Lock)
+			m := out[sem]
+			if m == nil {
+				m = make(map[machine.NodeID]int)
+				out[sem] = m
+			}
+			switch rec.Type {
+			case wal.TypeLockAcquire:
+				m[nd]++
+			case wal.TypeLockRelease:
+				m[nd]--
+			}
+		}
+	}
+	return out
+}
+
+// Recover repairs the semaphore table after the given nodes crashed, on
+// behalf of surviving node nd:
+//
+//   - semaphore lines that survived have dead nodes' units released in
+//     place (condition 1 of section 4.2.2, applied to semaphores);
+//   - destroyed lines are rebuilt from the survivors' logs and the known
+//     capacities (condition 2: no surviving node's holdings are lost).
+//
+// It returns how many semaphores were rebuilt and how many dead-node units
+// were released.
+func (s *SemTable) Recover(nd machine.NodeID, crashed []machine.NodeID) (rebuilt, released int, err error) {
+	down := make(map[machine.NodeID]bool, len(crashed))
+	for _, c := range crashed {
+		down[c] = true
+	}
+	alive := make(map[machine.NodeID]bool)
+	for _, a := range s.M.AliveNodes() {
+		alive[a] = true
+	}
+	held := s.holdings(alive)
+	for sem := range s.caps {
+		l := s.line(sem)
+		if s.M.Resident(l) {
+			// Surviving line: strip dead holders.
+			if err := s.M.GetLine(nd, l); err != nil {
+				return rebuilt, released, err
+			}
+			raw, err := s.M.Read(nd, l, 0, s.M.LineSize())
+			if err != nil {
+				s.M.ReleaseLine(nd, l)
+				return rebuilt, released, err
+			}
+			nh := int(raw[semNHoldOff])
+			keep := make([]byte, 0, nh)
+			for i := 0; i < nh; i++ {
+				holder := machine.NodeID(int(raw[semHoldersOff+i]) - 1)
+				if down[holder] {
+					released++
+					raw[semValueOff]++
+				} else {
+					keep = append(keep, raw[semHoldersOff+i])
+				}
+			}
+			if len(keep) != nh {
+				copy(raw[semHoldersOff:], keep)
+				for i := len(keep); i < nh; i++ {
+					raw[semHoldersOff+i] = 0
+				}
+				raw[semNHoldOff] = byte(len(keep))
+				if err := s.M.Write(nd, l, 0, raw); err != nil {
+					s.M.ReleaseLine(nd, l)
+					return rebuilt, released, err
+				}
+			}
+			s.M.ReleaseLine(nd, l)
+			continue
+		}
+		// Destroyed line: rebuild from survivors' logs + capacity.
+		img := make([]byte, s.M.LineSize())
+		units := 0
+		pos := semHoldersOff
+		for holder, n := range held[sem] {
+			for i := 0; i < n; i++ {
+				img[pos] = byte(int(holder) + 1)
+				pos++
+				units++
+			}
+		}
+		img[semNHoldOff] = byte(units)
+		img[semValueOff] = byte(s.caps[sem] - units)
+		if err := s.M.Install(nd, l, img); err != nil {
+			return rebuilt, released, err
+		}
+		rebuilt++
+	}
+	return rebuilt, released, nil
+}

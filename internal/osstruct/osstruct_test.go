@@ -1,0 +1,310 @@
+package osstruct
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smdb/internal/machine"
+)
+
+func newSems(t *testing.T, nodes int, caps []int) (*SemTable, *machine.Machine) {
+	t.Helper()
+	m := machine.New(machine.Config{Nodes: nodes, Lines: 256})
+	s, err := NewSemTable(m, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func TestSemaphorePV(t *testing.T) {
+	s, _ := newSems(t, 2, []int{2})
+	if err := s.P(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.P(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.P(0, 0); !errors.Is(err, ErrNoUnits) {
+		t.Errorf("exhausted P: %v", err)
+	}
+	v, holders, err := s.Value(0, 0)
+	if err != nil || v != 0 || len(holders) != 2 {
+		t.Errorf("Value = %d, %v, %v", v, holders, err)
+	}
+	if err := s.V(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.V(1, 0); !errors.Is(err, ErrNotHolder) {
+		t.Errorf("double V: %v", err)
+	}
+	v, holders, _ = s.Value(0, 0)
+	if v != 1 || len(holders) != 1 || holders[0] != 0 {
+		t.Errorf("after V: %d, %v", v, holders)
+	}
+}
+
+// TestSemaphoreCrashRecovery: the section 9 scenario. The semaphore line
+// lives on the last toucher; its crash destroys the value and every node's
+// holdings. Recovery rebuilds from the survivors' logs: dead units
+// released, surviving units intact.
+func TestSemaphoreCrashRecovery(t *testing.T) {
+	s, m := newSems(t, 3, []int{3, 1})
+	if err := s.P(0, 0); err != nil { // survivor holds one unit of sem 0
+		t.Fatal(err)
+	}
+	if err := s.P(2, 0); err != nil { // doomed node holds one too
+		t.Fatal(err)
+	}
+	if err := s.P(2, 1); err != nil { // and all of sem 1
+		t.Fatal(err)
+	}
+	// Node 2 touched both lines last: they die with it.
+	m.Crash(2)
+	if m.Resident(s.line(0)) || m.Resident(s.line(1)) {
+		t.Fatal("semaphore lines should have died with node 2")
+	}
+	rebuilt, released, err := s.Recover(0, []machine.NodeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt != 2 {
+		t.Errorf("rebuilt = %d, want 2", rebuilt)
+	}
+	_ = released // both dead units never made it into a surviving line
+	// Sem 0: capacity 3, node 0 still holds 1 unit -> value 2.
+	v, holders, err := s.Value(0, 0)
+	if err != nil || v != 2 || len(holders) != 1 || holders[0] != 0 {
+		t.Errorf("sem 0 = %d, %v, %v; want 2 units free, node 0 holding", v, holders, err)
+	}
+	// Sem 1: the dead node's unit is back -> value 1, no holders.
+	v, holders, err = s.Value(0, 1)
+	if err != nil || v != 1 || len(holders) != 0 {
+		t.Errorf("sem 1 = %d, %v, %v; want fully free", v, holders, err)
+	}
+	// The freed capacity is usable again.
+	if err := s.P(1, 1); err != nil {
+		t.Errorf("P after recovery: %v", err)
+	}
+}
+
+// TestSemaphoreSurvivingLineRelease: when the semaphore line survives the
+// crash (resident on a survivor), recovery releases dead units in place.
+func TestSemaphoreSurvivingLineRelease(t *testing.T) {
+	s, m := newSems(t, 3, []int{2})
+	if err := s.P(2, 0); err != nil { // doomed node first
+		t.Fatal(err)
+	}
+	if err := s.P(0, 0); err != nil { // survivor touches last: line lives on node 0
+		t.Fatal(err)
+	}
+	m.Crash(2)
+	if !m.Resident(s.line(0)) {
+		t.Fatal("line should have survived on node 0")
+	}
+	rebuilt, released, err := s.Recover(0, []machine.NodeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt != 0 || released != 1 {
+		t.Errorf("rebuilt=%d released=%d, want 0, 1", rebuilt, released)
+	}
+	v, holders, _ := s.Value(0, 0)
+	if v != 1 || len(holders) != 1 || holders[0] != 0 {
+		t.Errorf("after recovery: %d, %v", v, holders)
+	}
+}
+
+func newMap(t *testing.T, nodes, blocks int) (*DiskMap, *machine.Machine) {
+	t.Helper()
+	m := machine.New(machine.Config{Nodes: nodes, Lines: 256})
+	d, err := NewDiskMap(m, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+func TestDiskMapAllocFree(t *testing.T) {
+	d, _ := newMap(t, 2, 10)
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		b, err := d.Alloc(machine.NodeID(i % 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[b] {
+			t.Fatalf("block %d allocated twice", b)
+		}
+		seen[b] = true
+	}
+	if _, err := d.Alloc(0); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("full map: %v", err)
+	}
+	if err := d.Free(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(0, 3); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("double free: %v", err)
+	}
+	b, err := d.Alloc(1)
+	if err != nil || b != 3 {
+		t.Errorf("realloc = %d, %v; want 3", b, err)
+	}
+	if ok, _ := d.Allocated(0, 3); !ok {
+		t.Error("block 3 should be allocated")
+	}
+	if _, err := d.Allocated(0, 99); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("out of range: %v", err)
+	}
+}
+
+// TestDiskMapCrashRecovery: a crash destroys bitmap lines and loses a dead
+// node's allocations; recovery rebuilds the map so that survivors keep
+// exactly their blocks and the dead node's blocks are reclaimed.
+func TestDiskMapCrashRecovery(t *testing.T) {
+	d, m := newMap(t, 3, 64)
+	var mine []int
+	for i := 0; i < 5; i++ {
+		b, err := d.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mine = append(mine, b)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := d.Alloc(2); err != nil { // doomed node's blocks
+			t.Fatal(err)
+		}
+	}
+	// Node 2 wrote last: the bitmap line lives (only) there.
+	m.Crash(2)
+	rebuilt, reclaimed, err := d.Recover(0, []machine.NodeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == 0 && reclaimed == 0 {
+		t.Fatal("recovery found nothing to repair")
+	}
+	// Survivor's blocks intact; everything else free.
+	allocated := 0
+	for b := 0; b < d.Blocks(); b++ {
+		ok, err := d.Allocated(0, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			allocated++
+		}
+	}
+	if allocated != len(mine) {
+		t.Errorf("%d blocks allocated after recovery, want %d", allocated, len(mine))
+	}
+	for _, b := range mine {
+		if ok, _ := d.Allocated(0, b); !ok {
+			t.Errorf("survivor's block %d lost", b)
+		}
+	}
+	// Reclaimed space is allocatable.
+	if _, err := d.Alloc(1); err != nil {
+		t.Errorf("alloc after recovery: %v", err)
+	}
+}
+
+// TestQuickDiskMapModel: random alloc/free sequences with crashes match a
+// model; no block is ever double-allocated and recovery never loses a
+// survivor's block.
+func TestQuickDiskMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nodes, blocks = 3, 48
+		d, m := newMapQuick(nodes, blocks)
+		owner := make(map[int]machine.NodeID) // model: block -> allocator
+		alive := []machine.NodeID{0, 1, 2}
+		for step := 0; step < 150; step++ {
+			nd := alive[r.Intn(len(alive))]
+			switch r.Intn(6) {
+			case 0, 1, 2: // alloc
+				b, err := d.Alloc(nd)
+				if errors.Is(err, ErrNoSpace) {
+					continue
+				}
+				if err != nil {
+					t.Logf("seed %d: alloc: %v", seed, err)
+					return false
+				}
+				if _, taken := owner[b]; taken {
+					t.Logf("seed %d: block %d double-allocated", seed, b)
+					return false
+				}
+				owner[b] = nd
+			case 3, 4: // free one of nd's blocks
+				for b, o := range owner {
+					if o == nd {
+						if err := d.Free(nd, b); err != nil {
+							t.Logf("seed %d: free: %v", seed, err)
+							return false
+						}
+						delete(owner, b)
+						break
+					}
+				}
+			case 5: // crash one node (keep >= 1 alive), recover, restart
+				if len(alive) < 2 {
+					continue
+				}
+				idx := r.Intn(len(alive))
+				victim := alive[idx]
+				alive = append(alive[:idx], alive[idx+1:]...)
+				m.Crash(victim)
+				if _, _, err := d.Recover(alive[0], []machine.NodeID{victim}); err != nil {
+					t.Logf("seed %d: recover: %v", seed, err)
+					return false
+				}
+				for b, o := range owner {
+					if o == victim {
+						delete(owner, b) // reclaimed
+					}
+				}
+				// The node plugs back in (its log history is gone with it:
+				// model it by restarting machine node only; its old blocks
+				// were reclaimed above).
+				if err := m.Restart(victim); err != nil {
+					t.Log(err)
+					return false
+				}
+				d.Logs[victim].Crash()
+				d.Logs[victim].Reopen()
+				alive = append(alive, victim)
+			}
+		}
+		// Final state matches the model exactly.
+		for b := 0; b < blocks; b++ {
+			got, err := d.Allocated(alive[0], b)
+			if err != nil {
+				t.Logf("seed %d: allocated(%d): %v", seed, b, err)
+				return false
+			}
+			_, want := owner[b]
+			if got != want {
+				t.Logf("seed %d: block %d allocated=%v, model=%v", seed, b, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newMapQuick(nodes, blocks int) (*DiskMap, *machine.Machine) {
+	m := machine.New(machine.Config{Nodes: nodes, Lines: 256})
+	d, err := NewDiskMap(m, blocks)
+	if err != nil {
+		panic(err)
+	}
+	return d, m
+}

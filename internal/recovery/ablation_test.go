@@ -1,0 +1,154 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+)
+
+// The ablation tests run the paper's figure 2 scenario with LBM disabled
+// (AblatedNoLBM defers update logging to commit) and confirm that the IFA
+// checker catches exactly the failures the paper predicts — demonstrating
+// both that logging-before-migration is load-bearing and that the oracle is
+// capable of failing.
+
+// TestAblationUndoHazard: t_x's uncommitted update migrates to node y; node
+// x crashes. Without LBM no undo information exists anywhere, so the
+// update survives — an IFA violation the checker must report.
+func TestAblationUndoHazard(t *testing.T) {
+	r1 := heap.RID{Page: 0, Slot: 0}
+	r2 := heap.RID{Page: 0, Slot: 1}
+	db, mgr := newDB(t, recovery.AblatedNoLBM, 2)
+	seed(t, mgr, []heap.RID{r1, r2}, 1)
+
+	tx, _ := mgr.Begin(0)
+	ty, _ := mgr.Begin(1)
+	if err := tx.Write(r1, []byte{100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.Write(r2, []byte{200}); err != nil { // migrates the line to node 1
+		t.Fatal(err)
+	}
+	db.Crash(0)
+	if _, err := db.Recover([]machine.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	// The crashed transaction's effect is still there (the hazard).
+	got, err := db.Read(1, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 100 {
+		t.Fatalf("expected the hazard: t_x's unlogged update should have survived, got %d", got.Data[0])
+	}
+	v := db.CheckIFA(1)
+	if len(v) == 0 {
+		t.Fatal("IFA checker did not flag the surviving uncommitted update")
+	}
+	t.Logf("checker correctly reported: %v", v)
+}
+
+// TestAblationRedoHazard: the line holding t_x's update migrated to node y
+// and node y crashes. Without LBM, no redo information was logged before
+// the migration, so the surviving transaction t_x silently loses its
+// update.
+func TestAblationRedoHazard(t *testing.T) {
+	r1 := heap.RID{Page: 0, Slot: 0}
+	r2 := heap.RID{Page: 0, Slot: 1}
+	db, mgr := newDB(t, recovery.AblatedNoLBM, 2)
+	seed(t, mgr, []heap.RID{r1, r2}, 1)
+
+	tx, _ := mgr.Begin(0)
+	ty, _ := mgr.Begin(1)
+	if err := tx.Write(r1, []byte{100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ty.Write(r2, []byte{200}); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash(1)
+	if _, err := db.Recover([]machine.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	// t_x is alive, but its update died with node y's cache.
+	got, err := db.Read(0, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] == 100 {
+		t.Fatal("expected the hazard: t_x's update should have been lost with node y")
+	}
+	v := db.CheckIFA(0)
+	if len(v) == 0 {
+		t.Fatal("IFA checker did not flag the lost surviving update")
+	}
+	t.Logf("checker correctly reported: %v", v)
+}
+
+// TestAblationControl: the same scenario under the real protocol shows zero
+// violations — the only difference is LBM.
+func TestAblationControl(t *testing.T) {
+	r1 := heap.RID{Page: 0, Slot: 0}
+	r2 := heap.RID{Page: 0, Slot: 1}
+	for _, crash := range []machine.NodeID{0, 1} {
+		db, mgr := newDB(t, recovery.VolatileSelectiveRedo, 2)
+		seed(t, mgr, []heap.RID{r1, r2}, 1)
+		tx, _ := mgr.Begin(0)
+		ty, _ := mgr.Begin(1)
+		if err := tx.Write(r1, []byte{100}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Write(r2, []byte{200}); err != nil {
+			t.Fatal(err)
+		}
+		db.Crash(crash)
+		if _, err := db.Recover([]machine.NodeID{crash}); err != nil {
+			t.Fatal(err)
+		}
+		mustCheckIFA(t, db, 1-crash)
+	}
+}
+
+// TestAblationCommittedStillDurable: even without LBM, committed work
+// survives (commit-time logging plus the force is intact) — the ablation
+// breaks isolation of failures, not durability.
+func TestAblationCommittedStillDurable(t *testing.T) {
+	rid := heap.RID{Page: 0, Slot: 0}
+	db, mgr := newDB(t, recovery.AblatedNoLBM, 2)
+	seed(t, mgr, []heap.RID{rid}, 1)
+	tx, _ := mgr.Begin(1)
+	if err := tx.Write(rid, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash(1)
+	if _, err := db.Recover([]machine.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Read(0, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 42 {
+		t.Errorf("committed value lost under ablation: %d", got.Data[0])
+	}
+}
+
+// TestAblationAbortUnsupported: voluntary aborts of writers are rejected
+// (there is no undo information to roll back with).
+func TestAblationAbortUnsupported(t *testing.T) {
+	rid := heap.RID{Page: 0, Slot: 0}
+	db, mgr := newDB(t, recovery.AblatedNoLBM, 1)
+	seed(t, mgr, []heap.RID{rid}, 1)
+	tx, _ := mgr.Begin(0)
+	if err := tx.Write(rid, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Abort(0, tx.ID()); err == nil {
+		t.Error("abort of a writer succeeded without undo information")
+	}
+}

@@ -1,0 +1,356 @@
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smdb/internal/buffer"
+	"smdb/internal/heap"
+	"smdb/internal/lock"
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+// Config parameterizes a shared-memory database instance.
+type Config struct {
+	// Machine configures the simulated multiprocessor. Leave zero for
+	// defaults (4 nodes, 128-byte lines).
+	Machine machine.Config
+	// Protocol selects the recovery protocol.
+	Protocol Protocol
+	// LinesPerPage and RecsPerLine fix the heap layout (defaults 8 and 4;
+	// RecsPerLine is the paper's records-per-cache-line sharing knob).
+	LinesPerPage, RecsPerLine int
+	// Pages is the heap size in pages (default 64).
+	Pages int
+	// LockTableLines sizes the shared-memory LCB table (default 512).
+	LockTableLines int
+	// ChainedLCBs lets lock control blocks span multiple cache lines (the
+	// paper's harder recovery variant: a crash can destroy arbitrary
+	// segments of a lock queue, and recovery rebuilds whole LCBs).
+	ChainedLCBs bool
+	// NVRAMLog prices log forces as NVRAM instead of rotational disk.
+	NVRAMLog bool
+	// DirtyReads permits reads without shared locks (browse/chaos degrees
+	// of [7]); used to demonstrate the H_wr hazard of section 3.2.
+	DirtyReads bool
+}
+
+func (c *Config) setDefaults() {
+	if c.LinesPerPage == 0 {
+		c.LinesPerPage = 8
+	}
+	if c.RecsPerLine == 0 {
+		c.RecsPerLine = 4
+	}
+	if c.Pages == 0 {
+		c.Pages = 64
+	}
+	if c.LockTableLines == 0 {
+		c.LockTableLines = 512
+	}
+}
+
+// TxnStatus is a transaction's lifecycle state.
+type TxnStatus int
+
+const (
+	// TxnActive transactions have begun and neither committed nor aborted.
+	TxnActive TxnStatus = iota
+	// TxnCommitted transactions have a stable commit record.
+	TxnCommitted
+	// TxnAborted transactions have been rolled back (by request, deadlock,
+	// or crash recovery).
+	TxnAborted
+)
+
+func (s TxnStatus) String() string {
+	switch s {
+	case TxnActive:
+		return "active"
+	case TxnCommitted:
+		return "committed"
+	case TxnAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("TxnStatus(%d)", int(s))
+	}
+}
+
+// heldLock records one lock held by a transaction (node-local bookkeeping;
+// it lives and dies with the transaction's node).
+type heldLock struct {
+	name lock.Name
+	mode lock.Mode
+}
+
+// writeRec records one update a transaction made (node-local bookkeeping
+// plus IFA-oracle input: the after image, version, and log position).
+type writeRec struct {
+	rid     heap.RID
+	img     []byte
+	version uint64
+	lsn     wal.LSN
+}
+
+// txnState is the node-local control state of one transaction. A node crash
+// destroys the txnState of its transactions (the "control state (registers,
+// stack, etc.)" of section 3.1); recovery must never read a crashed
+// transaction's txnState — it rediscovers what it needs from stable logs and
+// undo tags. The engine keeps crashed entries only for the IFA oracle
+// (verification), clearly separated by the crashed flag.
+type txnState struct {
+	id      wal.TxnID
+	status  TxnStatus
+	crashed bool // its node crashed while it was active
+	locks   []heldLock
+	// writes lists the updates the transaction applied (node-local; used
+	// for commit-time tag clearing and by the IFA oracle).
+	writes []writeRec
+	// nta > 0 while a nested top-level action is open.
+	nta uint64
+	// global > 0 marks a branch of a parallel (multi-node) transaction.
+	global uint64
+	// deferred holds update records not yet appended to the log — only
+	// used by the AblatedNoLBM negative control, which logs at commit.
+	deferred []wal.Record
+}
+
+// Stats aggregates protocol-level counters (beyond machine/buffer/lock
+// stats).
+type Stats struct {
+	// Updates, Inserts, Deletes are record operations applied.
+	Updates, Inserts, Deletes int64
+	// Commits, Aborts are completed transactions.
+	Commits, Aborts int64
+	// CommitForces counts commit-time physical log forces; LBMForces
+	// counts forces performed to satisfy Stable LBM (eager or triggered);
+	// NTAForces counts early-commit forces of structural changes.
+	CommitForces, LBMForces, NTAForces int64
+	// TagWrites counts undo-tag stores (Table 1's Undo Tagging overhead);
+	// TagClears counts commit/abort-time tag clears.
+	TagWrites, TagClears int64
+	// UndoTagBytes is the space overhead of tagging.
+	UndoTagBytes int64
+	// RedoApplied / RedoSkipped count restart redo decisions;
+	// UndoApplied counts restart undo installations.
+	RedoApplied, RedoSkipped, UndoApplied int64
+	// TxnsAbortedByRecovery counts active transactions aborted by restart
+	// recovery (for crashed nodes under IFA; for everyone under the
+	// baseline).
+	TxnsAbortedByRecovery int64
+	// LCBsRebuilt and LockEntriesReleased count lock-space recovery work.
+	LCBsRebuilt, LockEntriesReleased int64
+}
+
+// DB is a complete shared-memory database instance: the simulated machine
+// plus every substrate, wired for one recovery protocol.
+type DB struct {
+	Cfg   Config
+	M     *machine.Machine
+	Store *heap.Store
+	Disk  *storage.Disk
+	BM    *buffer.Manager
+	Logs  []*wal.Log
+	Locks *lock.SMManager
+
+	versions atomic.Uint64
+	// frozen is set between Crash and the end of Recover: the low-level
+	// machinery has interrupted all CPUs (section 2), and transaction
+	// processing stalls until restart recovery completes. The transaction
+	// layer surfaces the stall as ErrBlocked.
+	frozen atomic.Bool
+
+	mu    sync.Mutex
+	txns  map[wal.TxnID]*txnState
+	seqs  []uint64 // per-node transaction sequence counters
+	stats Stats
+	// committed is the IFA oracle: the last committed image of every slot
+	// ever written (flags byte followed by record data), plus its version.
+	committed map[heap.RID]committedImage
+	// activeLBM tracks, for StableTriggered, the highest unforced LSN per
+	// node so the trigger knows how far to force.
+	pendingLSN []wal.LSN
+}
+
+type committedImage struct {
+	img     []byte
+	version uint64
+}
+
+// New builds a database instance. It panics on invalid configuration
+// (programmer error), and returns an error for resource failures.
+func New(cfg Config) (*DB, error) {
+	cfg.setDefaults()
+	m := machine.New(cfg.Machine)
+	layout, err := heap.NewLayout(m.LineSize(), cfg.LinesPerPage, cfg.RecsPerLine)
+	if err != nil {
+		return nil, err
+	}
+	store := heap.NewStore(m, layout, cfg.Pages)
+	disk := storage.NewDisk(layout.PageBytes())
+	logs := make([]*wal.Log, m.Nodes())
+	for i := range logs {
+		logs[i], err = wal.NewLog(machine.NodeID(i), storage.NewLogDevice())
+		if err != nil {
+			return nil, err
+		}
+	}
+	lm := lock.LogWriteLocks
+	if cfg.Protocol.LogsReadLocks() {
+		lm = lock.LogAllLocks
+	}
+	locks, err := lock.NewSMManager(m, cfg.LockTableLines, logs, lm)
+	if err != nil {
+		return nil, err
+	}
+	locks.Chained = cfg.ChainedLCBs
+	db := &DB{
+		Cfg:        cfg,
+		M:          m,
+		Store:      store,
+		Disk:       disk,
+		BM:         buffer.NewManager(store, disk, logs),
+		Logs:       logs,
+		Locks:      locks,
+		txns:       make(map[wal.TxnID]*txnState),
+		seqs:       make([]uint64, m.Nodes()),
+		committed:  make(map[heap.RID]committedImage),
+		pendingLSN: make([]wal.LSN, m.Nodes()),
+	}
+	db.BM.NVRAMLog = cfg.NVRAMLog
+	if cfg.Protocol == StableTriggered {
+		m.SetPreTransition(db.lbmTrigger)
+	}
+	return db, nil
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// bump mutates the stats under the lock.
+func (db *DB) bump(f func(*Stats)) {
+	db.mu.Lock()
+	f(&db.stats)
+	db.mu.Unlock()
+}
+
+// NextVersion returns a fresh global update version. (On real hardware this
+// is a fetch-and-add on a dedicated shared line; its cost is folded into the
+// update's local work.)
+func (db *DB) NextVersion() uint64 { return db.versions.Add(1) }
+
+// Frozen reports whether the system is between a crash and the completion
+// of restart recovery, during which transaction processing stalls.
+func (db *DB) Frozen() bool { return db.frozen.Load() }
+
+// logForceCost is the simulated price of one physical log force.
+func (db *DB) logForceCost() int64 {
+	c := db.M.Config().Cost
+	if db.Cfg.NVRAMLog {
+		return c.LogForceNVRAM
+	}
+	return c.LogForce
+}
+
+// Begin registers a new transaction on node nd.
+func (db *DB) Begin(nd machine.NodeID) (wal.TxnID, error) {
+	if !db.M.Alive(nd) {
+		return 0, machine.ErrNodeDown
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seqs[nd]++
+	id := wal.MakeTxnID(nd, db.seqs[nd])
+	db.txns[id] = &txnState{id: id, status: TxnActive}
+	return id, nil
+}
+
+// Status returns a transaction's lifecycle state.
+func (db *DB) Status(t wal.TxnID) (TxnStatus, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, ok := db.txns[t]
+	if !ok {
+		return 0, false
+	}
+	return st.status, true
+}
+
+// ActiveTxns returns the active transactions, optionally filtered to a node.
+func (db *DB) ActiveTxns(node machine.NodeID) []wal.TxnID {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []wal.TxnID
+	for id, st := range db.txns {
+		if st.status != TxnActive || st.crashed {
+			continue
+		}
+		if node == machine.NoNode || id.Node() == node {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// txn fetches a transaction's state, failing if unknown.
+func (db *DB) txn(t wal.TxnID) (*txnState, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, ok := db.txns[t]
+	if !ok {
+		return nil, fmt.Errorf("recovery: unknown transaction %v", t)
+	}
+	return st, nil
+}
+
+// NoteLock records a lock held by t (node-local bookkeeping for release at
+// commit/abort).
+func (db *DB) NoteLock(t wal.TxnID, name lock.Name, mode lock.Mode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if st, ok := db.txns[t]; ok {
+		for i := range st.locks {
+			if st.locks[i].name == name {
+				if mode > st.locks[i].mode {
+					st.locks[i].mode = mode
+				}
+				return
+			}
+		}
+		st.locks = append(st.locks, heldLock{name: name, mode: mode})
+	}
+}
+
+// WriteCount returns how many updates a transaction has applied (for
+// lost-work accounting in experiments).
+func (db *DB) WriteCount(t wal.TxnID) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, ok := db.txns[t]
+	if !ok {
+		return 0
+	}
+	return len(st.writes)
+}
+
+// HeldLocks returns the locks a transaction's node-local state records.
+func (db *DB) HeldLocks(t wal.TxnID) []lock.Name {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, ok := db.txns[t]
+	if !ok {
+		return nil
+	}
+	out := make([]lock.Name, len(st.locks))
+	for i, h := range st.locks {
+		out[i] = h.name
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package recovery_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/storage"
+	"smdb/internal/txn"
+)
+
+// ifaScenario drives a random workload and a random crash, then checks IFA.
+type ifaScenario struct {
+	Seed int64
+}
+
+// Generate implements quick.Generator.
+func (ifaScenario) Generate(r *rand.Rand, _ int) interface{} {
+	return ifaScenario{Seed: r.Int63()}
+}
+
+// runIFAScenario executes one random scenario under the given protocol and
+// returns the violations found (nil means IFA held).
+func runIFAScenario(t *testing.T, proto recovery.Protocol, seed int64) []string {
+	return runIFAScenarioCfg(t, proto, seed, false)
+}
+
+func runIFAScenarioCfg(t *testing.T, proto recovery.Protocol, seed int64, chained bool) []string {
+	t.Helper()
+	const nodes = 4
+	r := rand.New(rand.NewSource(seed))
+	db, err := recovery.New(recovery.Config{
+		Machine:        machine.Config{Nodes: nodes, Lines: 4096},
+		Protocol:       proto,
+		LinesPerPage:   4,
+		RecsPerLine:    4,
+		Pages:          8,
+		LockTableLines: 512,
+		ChainedLCBs:    chained,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := txn.NewManager(db)
+	layout := db.Store.Layout
+	totalSlots := db.Store.NPages * layout.SlotsPerPage()
+
+	// Seed and checkpoint every slot.
+	init, err := mgr.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allRIDs := make([]heap.RID, totalSlots)
+	for i := range allRIDs {
+		allRIDs[i] = heap.RID{Page: storage.PageID(i / layout.SlotsPerPage()), Slot: uint16(i % layout.SlotsPerPage())}
+		if err := init.Insert(allRIDs[i], []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := init.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Random transactions with disjoint slot sets (conflicts are exercised
+	// in the directed tests; here physical line sharing is the point).
+	nTxns := nodes * 3
+	txns := make([]*txn.Txn, nTxns)
+	for i := range txns {
+		tx, err := mgr.Begin(machine.NodeID(i % nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		txns[i] = tx
+		for s := i; s < totalSlots; s += nTxns {
+			if r.Intn(3) != 0 {
+				continue
+			}
+			var opErr error
+			switch r.Intn(5) {
+			case 0:
+				opErr = tx.Delete(allRIDs[s])
+			default:
+				opErr = tx.Write(allRIDs[s], []byte{byte(10 + i), byte(r.Intn(256))})
+			}
+			if opErr != nil {
+				t.Fatalf("seed %d: op on %v: %v", seed, allRIDs[s], opErr)
+			}
+			// Occasionally overwrite the same slot again.
+			if r.Intn(4) == 0 {
+				if err := tx.Write(allRIDs[s], []byte{byte(10 + i), 99}); err != nil {
+					t.Fatalf("seed %d: rewrite: %v", seed, err)
+				}
+			}
+		}
+		// Occasionally steal a random page to disk mid-flight.
+		if r.Intn(3) == 0 {
+			p := storage.PageID(r.Intn(db.Store.NPages))
+			if err := db.BM.FlushPage(tx.Node(), p); err != nil && !errors.Is(err, machine.ErrLineLost) {
+				t.Fatalf("seed %d: flush: %v", seed, err)
+			}
+		}
+	}
+	// Random outcomes: commit / abort / leave active.
+	for _, tx := range txns {
+		switch r.Intn(5) {
+		case 0, 1:
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("seed %d: commit: %v", seed, err)
+			}
+		case 2:
+			if err := tx.Abort(); err != nil {
+				t.Fatalf("seed %d: abort: %v", seed, err)
+			}
+		}
+	}
+	// Mid-run checkpoint sometimes.
+	if r.Intn(3) == 0 {
+		if err := db.Checkpoint(0); err != nil {
+			t.Fatalf("seed %d: checkpoint: %v", seed, err)
+		}
+	}
+
+	// Crash a random proper, non-empty subset of nodes.
+	perm := r.Perm(nodes)
+	nCrash := 1 + r.Intn(nodes-1)
+	crashed := make([]machine.NodeID, 0, nCrash)
+	for _, p := range perm[:nCrash] {
+		crashed = append(crashed, machine.NodeID(p))
+	}
+	db.Crash(crashed...)
+	if _, err := db.Recover(crashed); err != nil {
+		t.Fatalf("seed %d: recover: %v", seed, err)
+	}
+	survivor := db.M.AliveNodes()[0]
+	if v := db.CheckIFA(survivor); len(v) != 0 {
+		return v
+	}
+
+	// A second failure after recovery must also preserve IFA (unless it
+	// would take down the last node).
+	aliveNow := db.M.AliveNodes()
+	if len(aliveNow) >= 2 && r.Intn(2) == 0 {
+		second := aliveNow[r.Intn(len(aliveNow))]
+		db.Crash(second)
+		if _, err := db.Recover([]machine.NodeID{second}); err != nil {
+			t.Fatalf("seed %d: second recover: %v", seed, err)
+		}
+		return db.CheckIFA(db.M.AliveNodes()[0])
+	}
+	return nil
+}
+
+// TestQuickIFAUnderRandomCrashes: for every IFA protocol, random workloads
+// plus random crash sets never violate isolated failure atomicity.
+func TestQuickIFAUnderRandomCrashes(t *testing.T) {
+	for _, proto := range ifaProtocols {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			f := func(s ifaScenario) bool {
+				v := runIFAScenario(t, proto, s.Seed)
+				for _, msg := range v {
+					t.Logf("seed %d: %s", s.Seed, msg)
+				}
+				return len(v) == 0
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestQuickIFAChainedLCBs runs the random-crash property with the
+// multi-line lock-table organization: broken chains are dropped and rebuilt
+// without ever violating IFA.
+func TestQuickIFAChainedLCBs(t *testing.T) {
+	f := func(s ifaScenario) bool {
+		v := runIFAScenarioCfg(t, recovery.VolatileSelectiveRedo, s.Seed, true)
+		for _, msg := range v {
+			t.Logf("seed %d: %s", s.Seed, msg)
+		}
+		return len(v) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBaselineAtomicity: the baseline still guarantees plain failure
+// atomicity — every active transaction aborts, committed work survives.
+func TestQuickBaselineAtomicity(t *testing.T) {
+	f := func(s ifaScenario) bool {
+		const nodes = 3
+		r := rand.New(rand.NewSource(s.Seed))
+		db, err := recovery.New(recovery.Config{
+			Machine:        machine.Config{Nodes: nodes, Lines: 4096},
+			Protocol:       recovery.BaselineFA,
+			LinesPerPage:   4,
+			RecsPerLine:    4,
+			Pages:          4,
+			LockTableLines: 512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr := txn.NewManager(db)
+		layout := db.Store.Layout
+		total := db.Store.NPages * layout.SlotsPerPage()
+		init, _ := mgr.Begin(0)
+		for i := 0; i < total; i++ {
+			rid := heap.RID{Page: storage.PageID(i / layout.SlotsPerPage()), Slot: uint16(i % layout.SlotsPerPage())}
+			if err := init.Insert(rid, []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := init.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(0); err != nil {
+			t.Fatal(err)
+		}
+		var active []*txn.Txn
+		for i := 0; i < 6; i++ {
+			tx, _ := mgr.Begin(machine.NodeID(i % nodes))
+			rid := heap.RID{Page: storage.PageID(i % db.Store.NPages), Slot: uint16(i)}
+			if err := tx.Write(rid, []byte{byte(50 + i)}); err != nil {
+				t.Fatal(err)
+			}
+			if r.Intn(2) == 0 {
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				active = append(active, tx)
+			}
+		}
+		db.Crash(machine.NodeID(r.Intn(nodes)))
+		rep, err := db.Recover(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Aborted) != len(active) {
+			t.Logf("seed %d: aborted %d, want %d", s.Seed, len(rep.Aborted), len(active))
+			return false
+		}
+		for _, tx := range active {
+			if st, _ := db.Status(tx.ID()); st != recovery.TxnAborted {
+				return false
+			}
+		}
+		return len(db.VerifyCommittedDurability(0)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+)
+
+// TestParallelTxnCommit: a transaction spanning three nodes commits
+// atomically; every branch's updates are durable.
+func TestParallelTxnCommit(t *testing.T) {
+	db, mgr := newDB(t, recovery.VolatileSelectiveRedo, 4)
+	rids := []heap.RID{{Page: 0, Slot: 0}, {Page: 1, Slot: 0}, {Page: 2, Slot: 0}}
+	seed(t, mgr, rids, 1)
+
+	p, err := mgr.BeginParallel(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range []machine.NodeID{0, 1, 2} {
+		if err := p.On(nd).Write(rids[i], []byte{byte(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Every branch is committed; a total machine crash keeps everything.
+	db.Crash(0, 1, 2, 3)
+	for n := machine.NodeID(0); n < 4; n++ {
+		if err := db.RestartNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Recover([]machine.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		got, err := db.Read(0, rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Data[0] != byte(100+i) {
+			t.Errorf("%v = %d, want %d", rid, got.Data[0], 100+i)
+		}
+	}
+}
+
+// TestParallelTxnCrashAbortsAllBranches: if one participant's node crashes,
+// the entire parallel transaction is annulled — including branches on
+// surviving nodes — while an unrelated independent transaction survives.
+func TestParallelTxnCrashAbortsAllBranches(t *testing.T) {
+	for _, proto := range ifaProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			db, mgr := newDB(t, proto, 4)
+			rids := []heap.RID{{Page: 0, Slot: 0}, {Page: 1, Slot: 0}, {Page: 2, Slot: 0}, {Page: 3, Slot: 0}}
+			seed(t, mgr, rids, 1)
+
+			p, err := mgr.BeginParallel(0, 1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, nd := range []machine.NodeID{0, 1, 2} {
+				if err := p.On(nd).Write(rids[i], []byte{byte(100 + i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// An unrelated independent transaction on a surviving node.
+			indep, err := mgr.Begin(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := indep.Write(rids[3], []byte{200}); err != nil {
+				t.Fatal(err)
+			}
+
+			db.Crash(2) // one participant dies
+			rep, err := db.Recover([]machine.NodeID{2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// All three branches aborted; the independent txn untouched.
+			if len(rep.Aborted) != 3 {
+				t.Errorf("aborted %v, want all 3 branches", rep.Aborted)
+			}
+			for _, br := range db.Branches(p.Global()) {
+				if st, _ := db.Status(br); st != recovery.TxnAborted {
+					t.Errorf("branch %v status = %v, want aborted", br, st)
+				}
+			}
+			if st, _ := db.Status(indep.ID()); st != recovery.TxnActive {
+				t.Errorf("independent txn status = %v, want active", st)
+			}
+			// Branch effects are gone everywhere, including the surviving
+			// branches' own nodes.
+			for i := 0; i < 3; i++ {
+				got, err := db.Read(0, rids[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Data[0] != 1 {
+					t.Errorf("branch write on %v survived: %d", rids[i], got.Data[0])
+				}
+			}
+			mustCheckIFA(t, db, 0)
+			if err := indep.Commit(); err != nil {
+				t.Fatalf("independent txn could not commit: %v", err)
+			}
+		})
+	}
+}
+
+// TestParallelTxnAbort: a voluntary abort undoes every branch.
+func TestParallelTxnAbort(t *testing.T) {
+	db, mgr := newDB(t, recovery.VolatileSelectiveRedo, 2)
+	rids := []heap.RID{{Page: 0, Slot: 0}, {Page: 1, Slot: 0}}
+	seed(t, mgr, rids, 5)
+	p, err := mgr.BeginParallel(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range []machine.NodeID{0, 1} {
+		if err := p.On(nd).Write(rids[i], []byte{99}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range rids {
+		got, err := db.Read(0, rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Data[0] != 5 {
+			t.Errorf("%v = %d after abort, want 5", rid, got.Data[0])
+		}
+	}
+	mustCheckIFA(t, db, 0)
+}
+
+// TestParallelCommitRequiresAllNodes: commit fails if a participant is
+// already down.
+func TestParallelCommitRequiresAllNodes(t *testing.T) {
+	db, mgr := newDB(t, recovery.VolatileSelectiveRedo, 2)
+	rid := heap.RID{Page: 0, Slot: 0}
+	seed(t, mgr, []heap.RID{rid}, 1)
+	p, err := mgr.BeginParallel(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.On(0).Write(rid, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash(1)
+	if err := p.Commit(); err == nil {
+		t.Fatal("commit succeeded with a dead participant")
+	}
+	if _, err := db.Recover([]machine.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	// The whole family is annulled.
+	got, err := db.Read(0, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 1 {
+		t.Errorf("value = %d, want 1", got.Data[0])
+	}
+	mustCheckIFA(t, db, 0)
+}
+
+// TestBranchesListing covers the registry helpers.
+func TestBranchesListing(t *testing.T) {
+	db, mgr := newDB(t, recovery.VolatileSelectiveRedo, 3)
+	p, err := mgr.BeginParallel(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brs := db.Branches(p.Global())
+	if len(brs) != 2 || brs[0].Node() != 0 || brs[1].Node() != 2 {
+		t.Errorf("Branches = %v", brs)
+	}
+	if _, err := db.BeginBranch(p.Global(), 0); err == nil {
+		t.Error("duplicate branch on one node allowed")
+	}
+	if len(p.Nodes()) != 2 {
+		t.Errorf("Nodes = %v", p.Nodes())
+	}
+}

@@ -1,0 +1,21 @@
+package recovery_test
+
+import "testing"
+
+// Seeds that exposed real protocol bugs during development; kept as fixed
+// regressions.
+//
+//   - -4543786291672582091: a page stolen to disk while a record was
+//     tagged, whose line later died with two nodes, resurrected the stale
+//     undo tag from the disk image after the tagging transaction had
+//     committed (fixed by stripping tags at flush time and reconciling
+//     survivor tags against their logs during the Selective Redo scan).
+func TestRegressionStaleTagFromStolenPage(t *testing.T) {
+	for _, proto := range ifaProtocols {
+		if v := runIFAScenario(t, proto, -4543786291672582091); len(v) != 0 {
+			for _, s := range v {
+				t.Errorf("%v: %s", proto, s)
+			}
+		}
+	}
+}

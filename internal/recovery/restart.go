@@ -1,0 +1,728 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"smdb/internal/heap"
+	"smdb/internal/lock"
+	"smdb/internal/machine"
+	"smdb/internal/wal"
+)
+
+// Restart recovery (section 4.1.2 for database objects, 4.2 for support
+// structures). The caller injects failures with Crash and then runs Recover
+// on the survivors. Recovery never reads a crashed node's volatile state:
+// for crashed nodes only the stable log prefix and whatever cache lines
+// migrated to survivors are available.
+
+// RecoveryReport summarizes one restart recovery run.
+type RecoveryReport struct {
+	Protocol Protocol
+	Crashed  []machine.NodeID
+	// RedoApplied / RedoSkipped count redo decisions; UndoApplied counts
+	// undo installations (stable-log undos plus tag-scan undos).
+	RedoApplied, RedoSkipped, UndoApplied int
+	// TagScanLines is the number of cache lines examined by the Selective
+	// Redo undo scan.
+	TagScanLines int
+	// Aborted lists transactions aborted by recovery. Under IFA these are
+	// exactly the crashed nodes' active transactions; under the baseline,
+	// every active transaction in the system.
+	Aborted []wal.TxnID
+	// LCBsReinstalled, LockEntriesReleased, LocksReplayed count lock-space
+	// recovery work; LCBChainsDropped counts chained LCBs discarded whole
+	// (broken chains plus orphaned fragments) for rebuild from the logs.
+	LCBsReinstalled, LockEntriesReleased, LocksReplayed, LCBChainsDropped int
+	// SimTime is the simulated duration of recovery in nanoseconds
+	// (makespan increase across nodes).
+	SimTime int64
+}
+
+// Crash fails the given nodes: their caches are destroyed (machine), their
+// volatile log tails are lost (wal), and their entries leave the shared
+// WAL-enforcement table (buffer). Active transactions on those nodes become
+// crash victims awaiting recovery.
+func (db *DB) Crash(nodes ...machine.NodeID) machine.CrashReport {
+	db.frozen.Store(true)
+	rep := db.M.Crash(nodes...)
+	for _, n := range rep.Crashed {
+		db.Logs[n].Crash()
+		db.BM.DropNode(n)
+	}
+	db.mu.Lock()
+	for _, st := range db.txns {
+		if st.status == TxnActive && !st.crashed {
+			for _, n := range rep.Crashed {
+				if st.id.Node() == n {
+					st.crashed = true
+				}
+			}
+		}
+	}
+	db.mu.Unlock()
+	return rep
+}
+
+// Recover runs restart recovery after Crash(crashed...). It must be called
+// from a surviving configuration (at least one live node).
+func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
+	alive := db.M.AliveNodes()
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("recovery: no surviving nodes")
+	}
+	defer db.frozen.Store(false)
+	coord := alive[0]
+	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: append([]machine.NodeID(nil), crashed...)}
+	startClock := db.M.MaxClock()
+
+	if db.Cfg.Protocol == BaselineFA {
+		if err := db.baselineReboot(rep); err != nil {
+			return nil, err
+		}
+		rep.SimTime = db.M.MaxClock() - startClock
+		return rep, nil
+	}
+
+	// 1. Lock space (section 4.2.2): reinstall destroyed LCB lines as
+	// tombstones, release every crashed transaction's entries from
+	// surviving LCBs, and rebuild lost lock state by replaying the
+	// survivors' logical lock logs for still-active transactions.
+	n, err := db.Locks.ReinstallLost(coord)
+	if err != nil {
+		return nil, err
+	}
+	rep.LCBsReinstalled = n
+	dropped, orphans, err := db.Locks.SweepBrokenChains(coord)
+	if err != nil {
+		return nil, err
+	}
+	rep.LCBChainsDropped = dropped + orphans
+	released, err := db.Locks.ReleaseCrashed(coord, crashed)
+	if err != nil {
+		return nil, err
+	}
+	rep.LockEntriesReleased = released
+	replayed, err := db.replaySurvivorLocks(alive)
+	if err != nil {
+		return nil, err
+	}
+	rep.LocksReplayed = replayed
+
+	// 2. Redo (section 4.1.2).
+	if db.Cfg.Protocol.SelectiveRedo() {
+		if err := db.redoPass(alive, crashed, rep, false); err != nil {
+			return nil, err
+		}
+	} else {
+		// Redo All, step 1: every surviving node discards its cached
+		// database lines, wiping any migrated uncommitted updates of
+		// crashed transactions (and, collaterally, everything else in
+		// memory).
+		db.flushAllCaches(alive)
+		if err := db.redoPass(alive, crashed, rep, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Undo: down nodes' active transactions. Stolen or stably logged
+	// updates are undone from the stable logs; under undo tagging, updates
+	// that migrated into surviving caches are found by the sequential
+	// cache-line scan and reverted to their last committed values. The
+	// pass covers *every* down node, not just this crash's set: a redo
+	// from the stable database can resurrect a stolen update of a
+	// transaction that died in an earlier failure, and it must be undone
+	// again (the version filter makes repetition harmless).
+	down := db.downNodes()
+	aborted, err := db.undoCrashed(coord, down, rep)
+	if err != nil {
+		return nil, err
+	}
+	if db.Cfg.Protocol.UndoTagging() {
+		if err := db.undoTagScan(alive, down, rep); err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Settle the victims. A transaction whose node crashed after its
+	// commit record reached stable store *is* committed — the crash
+	// merely ate the acknowledgement — and the redo pass has already
+	// repeated its effects; everyone else is aborted.
+	stableCommitted := make(map[wal.TxnID]bool)
+	for _, n := range db.downNodes() {
+		v, err := db.view(n, true)
+		if err != nil {
+			return nil, err
+		}
+		for t := range v.committed {
+			stableCommitted[t] = true
+		}
+	}
+	db.mu.Lock()
+	for _, st := range db.txns {
+		if st.status != TxnActive || !st.crashed {
+			continue
+		}
+		if stableCommitted[st.id] {
+			st.status = TxnCommitted
+			db.stats.Commits++
+			for _, w := range st.writes {
+				if ci, ok := db.committed[w.rid]; !ok || w.version > ci.version {
+					db.committed[w.rid] = committedImage{img: w.img, version: w.version}
+				}
+			}
+			continue
+		}
+		st.status = TxnAborted
+		db.stats.Aborts++
+		db.stats.TxnsAbortedByRecovery++
+		rep.Aborted = append(rep.Aborted, st.id)
+	}
+	db.mu.Unlock()
+	_ = aborted
+
+	// 5. Parallel transactions (section 9): a crashed branch dooms its
+	// whole family; surviving branches are rolled back from their own
+	// logs.
+	if _, err := db.abortOrphanedBranches(rep); err != nil {
+		return nil, err
+	}
+	sortTxns(rep.Aborted)
+	db.bump(func(s *Stats) {
+		s.RedoApplied += int64(rep.RedoApplied)
+		s.RedoSkipped += int64(rep.RedoSkipped)
+		s.UndoApplied += int64(rep.UndoApplied)
+		s.LCBsRebuilt += int64(rep.LCBsReinstalled)
+		s.LockEntriesReleased += int64(rep.LockEntriesReleased)
+	})
+	rep.SimTime = db.M.MaxClock() - startClock
+	return rep, nil
+}
+
+// downNodes returns every node currently down.
+func (db *DB) downNodes() []machine.NodeID {
+	var out []machine.NodeID
+	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
+		if !db.M.Alive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// flushAllCaches discards every cached heap line on every surviving node
+// (Redo All step 1; the lock table is managed separately).
+func (db *DB) flushAllCaches(alive []machine.NodeID) {
+	for _, nd := range alive {
+		for _, l := range db.M.CachedLines(nd) {
+			if db.Store.Contains(l) {
+				_ = db.M.Discard(nd, l)
+			}
+		}
+	}
+}
+
+// logView is the recovery-visible portion of one node's log.
+type logView struct {
+	node      machine.NodeID
+	recs      []wal.Record
+	fromCkpt  []wal.Record // records after the last visible checkpoint
+	committed map[wal.TxnID]bool
+	aborted   map[wal.TxnID]bool
+	ntaDone   map[uint64]bool
+}
+
+// view builds the recovery-visible log view of node n: survivors expose
+// their full logs (their memory survived); crashed nodes only their stable
+// prefixes.
+func (db *DB) view(n machine.NodeID, isCrashed bool) (*logView, error) {
+	var recs []wal.Record
+	if isCrashed {
+		var err error
+		recs, err = db.Logs[n].StableRecords()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		recs = db.Logs[n].Records(1)
+	}
+	v := &logView{
+		node:      n,
+		recs:      recs,
+		committed: make(map[wal.TxnID]bool),
+		aborted:   make(map[wal.TxnID]bool),
+		ntaDone:   make(map[uint64]bool),
+	}
+	ckpt := 0
+	for i, r := range recs {
+		switch r.Type {
+		case wal.TypeCommit:
+			v.committed[r.Txn] = true
+		case wal.TypeAbort:
+			v.aborted[r.Txn] = true
+		case wal.TypeNTAEnd:
+			v.ntaDone[r.NTA] = true
+		case wal.TypeCheckpoint:
+			ckpt = i + 1
+		}
+	}
+	v.fromCkpt = recs[ckpt:]
+	return v, nil
+}
+
+// redoPass replays redo information from every node's available log.
+// Surviving nodes replay their own full logs from their last checkpoints
+// (everything: committed, active, and compensation records — surviving
+// active transactions' updates are preserved under IFA). Down nodes —
+// whether they crashed just now or in an earlier failure — contribute their
+// stable prefixes only, filtered to logically committed effects (stable
+// commits, completed structural changes, compensations); their uncommitted
+// updates are not repeated, as they are about to be undone anyway. Version
+// comparison makes redo idempotent and order-independent across logs.
+func (db *DB) redoPass(alive, crashed []machine.NodeID, rep *RecoveryReport, flushed bool) error {
+	coord := alive[0]
+	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
+		isDown := !db.M.Alive(n)
+		v, err := db.view(n, isDown)
+		if err != nil {
+			return err
+		}
+		onto := n
+		if isDown {
+			onto = coord
+		}
+		if err := db.redoLog(onto, v, isDown, rep); err != nil {
+			return err
+		}
+	}
+	_ = flushed
+	_ = crashed
+	return nil
+}
+
+// redoLog replays one log view's post-checkpoint records on behalf of node
+// onto (the log owner itself for survivors; the coordinator for crashed
+// nodes).
+func (db *DB) redoLog(onto machine.NodeID, v *logView, isCrashed bool, rep *RecoveryReport) error {
+	for _, rec := range v.fromCkpt {
+		if rec.Type != wal.TypeUpdate && rec.Type != wal.TypeCLR {
+			continue
+		}
+		if isCrashed {
+			// Only effects that are logically committed are repeated
+			// from a dead node's log.
+			switch {
+			case rec.Type == wal.TypeCLR:
+			case rec.NTA != 0 && v.ntaDone[rec.NTA]:
+			case v.committed[rec.Txn]:
+			default:
+				continue
+			}
+		}
+		rid := heap.RID{Page: rec.Page, Slot: rec.Slot}
+		if err := db.redoRecord(onto, rec, rid, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// redoRecord applies one update/CLR record if its effect is missing.
+func (db *DB) redoRecord(nd machine.NodeID, rec wal.Record, rid heap.RID, rep *RecoveryReport) error {
+	line, _, err := db.Store.LineOf(rid)
+	if err != nil {
+		return err
+	}
+	// Selective Redo's residency probe (the "cache miss with I/O disabled"
+	// test): if the line survives in some cache, the update may be there
+	// already; the version check below confirms. If the line was lost, the
+	// page fetch reinstalls exactly the missing lines from the stable
+	// database first.
+	if !db.M.Resident(line) || !db.M.Resident(db.Store.HeaderLine(rid.Page)) {
+		if err := db.BM.Fetch(nd, rid.Page); err != nil {
+			return err
+		}
+	}
+	cur, err := db.Store.ReadSlot(nd, rid)
+	if err != nil {
+		return err
+	}
+	if cur.Version >= rec.Version {
+		rep.RedoSkipped++
+		return nil
+	}
+	flags, data := splitImage(rec.After)
+	tag := machine.NoNode
+	if db.Cfg.Protocol.UndoTagging() && rec.Type == wal.TypeUpdate && rec.NTA == 0 {
+		// Restore the undo tag if the updating transaction is still
+		// active on a surviving node (its update stays uncommitted).
+		db.mu.Lock()
+		if st, ok := db.txns[rec.Txn]; ok && st.status == TxnActive && !st.crashed {
+			tag = rec.Txn.Node()
+		}
+		db.mu.Unlock()
+	}
+	if err := db.M.GetLine(nd, line); err != nil {
+		return err
+	}
+	err = db.Store.WriteSlot(nd, rid, heap.SlotData{Tag: tag, Flags: flags, Version: rec.Version, Data: data})
+	db.mustRelease(nd, line)
+	if err != nil {
+		return err
+	}
+	db.BM.MarkDirty(rid.Page)
+	rep.RedoApplied++
+	return nil
+}
+
+// undoCrashed rolls back the crashed nodes' active transactions using their
+// stable logs: every update whose effect is still present is reverted to
+// the transaction's earliest before image for that slot (the last committed
+// value, by strict 2PL). Incomplete structural changes (an NTA with no
+// stable end record) are undone too. Returns the crashed-active set found.
+func (db *DB) undoCrashed(coord machine.NodeID, crashed []machine.NodeID, rep *RecoveryReport) (map[wal.TxnID]bool, error) {
+	found := make(map[wal.TxnID]bool)
+	for _, n := range crashed {
+		v, err := db.view(n, true)
+		if err != nil {
+			return nil, err
+		}
+		// Active on the crashed node = stable records, no stable
+		// commit/abort.
+		type slotUndo struct {
+			earliest []byte // before image of the earliest update
+			versions map[uint64]bool
+		}
+		undoByTxn := make(map[wal.TxnID]map[heap.RID]*slotUndo)
+		for _, rec := range v.recs {
+			if rec.Type != wal.TypeUpdate {
+				continue
+			}
+			if v.committed[rec.Txn] || v.aborted[rec.Txn] {
+				continue
+			}
+			if rec.NTA != 0 && v.ntaDone[rec.NTA] {
+				continue // early-committed structural change: keep
+			}
+			found[rec.Txn] = true
+			m := undoByTxn[rec.Txn]
+			if m == nil {
+				m = make(map[heap.RID]*slotUndo)
+				undoByTxn[rec.Txn] = m
+			}
+			rid := heap.RID{Page: rec.Page, Slot: rec.Slot}
+			su := m[rid]
+			if su == nil {
+				// First (earliest) update of this slot by this txn:
+				// its before image is the last committed value.
+				su = &slotUndo{earliest: rec.Before, versions: make(map[uint64]bool)}
+				m[rid] = su
+			}
+			su.versions[rec.Version] = true
+		}
+		for txn, m := range undoByTxn {
+			for rid, su := range m {
+				cur, err := db.Read(coord, rid)
+				if err != nil {
+					return nil, err
+				}
+				if !su.versions[cur.Version] {
+					// The transaction's update is not present (it was
+					// lost with the crash, or never migrated and died
+					// in place); the stable database already holds an
+					// older value.
+					continue
+				}
+				if err := db.installImage(coord, rid, su.earliest, txn); err != nil {
+					return nil, err
+				}
+				rep.UndoApplied++
+			}
+		}
+	}
+	return found, nil
+}
+
+// undoTagScan is the Selective Redo undo phase: every surviving node
+// sequentially scans its cached lines; any record tagged with a crashed
+// node's ID is an uncommitted update of a dead transaction that migrated
+// here, and is reverted to its last committed value taken from stable
+// store (a committed update record in an available log, or failing that the
+// stable database image).
+//
+// The scan also reconciles stale tags pointing at *surviving* nodes. A tag
+// is not versioned: a page stolen to disk while a record was active carries
+// the tag, and if the record's line later dies and is reinstalled from that
+// disk image after the tagging transaction committed, the stale tag
+// resurfaces. A tag naming live node n is legitimate only if n's log — which
+// survived intact — contains an update record for exactly this slot and
+// version belonging to a transaction that is still active; otherwise the
+// record is no longer active and the tag is nulled.
+func (db *DB) undoTagScan(alive, crashed []machine.NodeID, rep *RecoveryReport) error {
+	down := make(map[machine.NodeID]bool, len(crashed))
+	for _, c := range crashed {
+		down[c] = true
+	}
+	// Per-surviving-node index: (rid, version) -> updating transaction.
+	type slotVer struct {
+		rid heap.RID
+		ver uint64
+	}
+	taggers := make(map[machine.NodeID]map[slotVer]wal.TxnID, len(alive))
+	taggerIndex := func(n machine.NodeID) map[slotVer]wal.TxnID {
+		if m, ok := taggers[n]; ok {
+			return m
+		}
+		m := make(map[slotVer]wal.TxnID)
+		for _, rec := range db.Logs[n].Records(1) {
+			if rec.Type == wal.TypeUpdate && rec.NTA == 0 {
+				m[slotVer{heap.RID{Page: rec.Page, Slot: rec.Slot}, rec.Version}] = rec.Txn
+			}
+		}
+		taggers[n] = m
+		return m
+	}
+	for _, nd := range alive {
+		for _, l := range db.M.CachedLines(nd) {
+			p, firstSlot, ok := db.Store.SlotOfLine(l)
+			if !ok {
+				continue
+			}
+			rep.TagScanLines++
+			for i := 0; i < db.Store.Layout.RecsPerLine; i++ {
+				rid := heap.RID{Page: p, Slot: uint16(firstSlot + i)}
+				sd, err := db.Store.ReadSlot(nd, rid)
+				if err != nil {
+					return err
+				}
+				switch {
+				case sd.Tag == machine.NoNode:
+				case down[sd.Tag]:
+					img, err := db.lastCommittedFromStable(nd, rid, crashed)
+					if err != nil {
+						return err
+					}
+					if err := db.installImage(nd, rid, img, wal.MakeTxnID(sd.Tag, 0)); err != nil {
+						return err
+					}
+					rep.UndoApplied++
+				default:
+					// Tag names a surviving node: verify against its log.
+					legit := false
+					if txn, ok := taggerIndex(sd.Tag)[slotVer{rid, sd.Version}]; ok {
+						db.mu.Lock()
+						if st, known := db.txns[txn]; known && st.status == TxnActive && !st.crashed {
+							legit = true
+						}
+						db.mu.Unlock()
+					}
+					if !legit {
+						if err := db.clearStaleTag(nd, rid); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// clearStaleTag nulls rid's undo tag under a line lock.
+func (db *DB) clearStaleTag(nd machine.NodeID, rid heap.RID) error {
+	line, _, err := db.Store.LineOf(rid)
+	if err != nil {
+		return err
+	}
+	if err := db.M.GetLine(nd, line); err != nil {
+		return err
+	}
+	defer db.mustRelease(nd, line)
+	return db.Store.WriteTag(nd, rid, machine.NoNode)
+}
+
+// lastCommittedFromStable derives rid's last committed image without any
+// crashed node's volatile state: the newest update/CLR for rid that belongs
+// to a committed transaction (or is itself a compensation or committed
+// structural record) in any available log; if none is found, the stable
+// database's image.
+func (db *DB) lastCommittedFromStable(nd machine.NodeID, rid heap.RID, crashed []machine.NodeID) ([]byte, error) {
+	_ = crashed
+	var best []byte
+	var bestVersion uint64
+	for n := machine.NodeID(0); int(n) < len(db.Logs); n++ {
+		v, err := db.view(n, !db.M.Alive(n))
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range v.recs {
+			if rec.Page != rid.Page || rec.Slot != rid.Slot {
+				continue
+			}
+			committedEffect := false
+			switch {
+			case rec.Type == wal.TypeCLR:
+				committedEffect = true
+			case rec.Type != wal.TypeUpdate:
+				continue
+			case rec.NTA != 0 && v.ntaDone[rec.NTA]:
+				committedEffect = true
+			case v.committed[rec.Txn]:
+				committedEffect = true
+			}
+			if committedEffect && rec.Version > bestVersion {
+				bestVersion = rec.Version
+				best = rec.After
+			}
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	// Fall back to the stable database image.
+	if db.Disk.Exists(rid.Page) {
+		img, err := db.Disk.ReadPage(rid.Page)
+		if err != nil {
+			return nil, err
+		}
+		db.M.AdvanceClock(nd, db.M.Config().Cost.DiskRead)
+		layout := db.Store.Layout
+		lineInPage := 1 + int(rid.Slot)/layout.RecsPerLine
+		lineImg := img[lineInPage*layout.LineSize : (lineInPage+1)*layout.LineSize]
+		sd := heap.DecodeSlotFromLine(layout, lineImg, int(rid.Slot)%layout.RecsPerLine)
+		return SlotImage(layout, sd.Flags, sd.Data), nil
+	}
+	// Never committed, never flushed: the record's pre-existence image is
+	// the empty slot.
+	return SlotImage(db.Store.Layout, 0, nil), nil
+}
+
+// replaySurvivorLocks re-requests, for every surviving active transaction,
+// the locks its node's log records as acquired and not released. Acquire is
+// idempotent (a present holder or waiter entry is not duplicated), so
+// surviving LCBs are unaffected while destroyed ones are rebuilt — with
+// read locks included, which is why IFA logs them.
+func (db *DB) replaySurvivorLocks(alive []machine.NodeID) (int, error) {
+	db.Locks.SetLogSuppressed(true)
+	defer db.Locks.SetLogSuppressed(false)
+	replayed := 0
+	for _, n := range alive {
+		type lockKey struct {
+			txn  wal.TxnID
+			name uint64
+		}
+		held := make(map[lockKey]uint8)
+		order := []lockKey{}
+		for _, rec := range db.Logs[n].Records(1) {
+			k := lockKey{rec.Txn, rec.Lock}
+			switch rec.Type {
+			case wal.TypeLockAcquire:
+				if _, ok := held[k]; !ok {
+					order = append(order, k)
+				}
+				held[k] = rec.Mode
+			case wal.TypeLockRelease:
+				delete(held, k)
+			}
+		}
+		for _, k := range order {
+			mode, ok := held[k]
+			if !ok {
+				continue
+			}
+			db.mu.Lock()
+			st, known := db.txns[k.txn]
+			active := known && st.status == TxnActive && !st.crashed
+			db.mu.Unlock()
+			if !active {
+				continue
+			}
+			if _, err := db.Locks.Acquire(n, k.txn, importName(k.name), importMode(mode)); err != nil {
+				return replayed, err
+			}
+			replayed++
+		}
+	}
+	return replayed, nil
+}
+
+// baselineReboot implements the conventional recovery story the paper's
+// introduction describes: a single node crash brings down the entire shared
+// memory system. Every node's volatile state — caches, volatile log tails,
+// transaction control blocks, the whole lock space — is lost; recovery
+// replays committed work from the stable logs and aborts every transaction
+// that was active anywhere.
+func (db *DB) baselineReboot(rep *RecoveryReport) error {
+	// The rest of the machine goes down too.
+	rest := db.M.AliveNodes()
+	db.Crash(rest...)
+	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
+		if err := db.M.Restart(n); err != nil {
+			return err
+		}
+		db.Logs[n].Reopen()
+	}
+	coord := machine.NodeID(0)
+	// The lock table is volatile and gone; reformat it.
+	if _, err := db.Locks.ReinstallLost(coord); err != nil {
+		return err
+	}
+	if _, err := db.Locks.ReleaseCrashed(coord, db.M.AliveNodes()); err != nil {
+		return err
+	}
+	// Redo committed effects from every node's stable log.
+	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
+		v, err := db.view(n, true) // stable prefix only: everything volatile died
+		if err != nil {
+			return err
+		}
+		if err := db.redoLog(coord, v, true, rep); err != nil {
+			return err
+		}
+	}
+	// Undo stolen uncommitted updates from the stable logs.
+	all := make([]machine.NodeID, db.M.Nodes())
+	for i := range all {
+		all[i] = machine.NodeID(i)
+	}
+	if _, err := db.undoCrashed(coord, all, rep); err != nil {
+		return err
+	}
+	// Every active transaction aborts: failure atomicity without isolation.
+	db.mu.Lock()
+	for _, st := range db.txns {
+		if st.status == TxnActive {
+			st.status = TxnAborted
+			st.crashed = true
+			db.stats.Aborts++
+			db.stats.TxnsAbortedByRecovery++
+			rep.Aborted = append(rep.Aborted, st.id)
+		}
+	}
+	db.mu.Unlock()
+	sortTxns(rep.Aborted)
+	db.bump(func(s *Stats) {
+		s.RedoApplied += int64(rep.RedoApplied)
+		s.RedoSkipped += int64(rep.RedoSkipped)
+		s.UndoApplied += int64(rep.UndoApplied)
+	})
+	return nil
+}
+
+// RestartNode brings a crashed node back into the configuration with a cold
+// cache and a reopened log. Its stable log prefix is intact; its next
+// transactions get fresh sequence numbers.
+func (db *DB) RestartNode(n machine.NodeID) error {
+	if err := db.M.Restart(n); err != nil {
+		return err
+	}
+	db.Logs[n].Reopen()
+	return nil
+}
+
+func sortTxns(ts []wal.TxnID) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}
+
+func importName(n uint64) lock.Name { return lock.Name(n) }
+func importMode(m uint8) lock.Mode  { return lock.Mode(m) }

@@ -1,0 +1,259 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/wal"
+)
+
+// Commit commits transaction t: its undo tags are cleared (the record is no
+// longer active, so its node ID becomes null), a commit record is appended
+// and the node's log forced through it (durability), and the transaction's
+// final images are captured as the new last-committed values. Lock release
+// is the caller's responsibility, after Commit returns (strict 2PL).
+func (db *DB) Commit(nd machine.NodeID, t wal.TxnID) error {
+	st, err := db.txn(t)
+	if err != nil {
+		return err
+	}
+	if st.status != TxnActive {
+		return fmt.Errorf("recovery: commit of %v transaction %v", st.status, t)
+	}
+	if t.Node() != nd {
+		return fmt.Errorf("recovery: %v cannot commit on node %d", t, nd)
+	}
+	db.flushDeferred(nd, st)
+	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeCommit, Txn: t})
+	if _, forced := db.Logs[nd].Force(lsn); forced {
+		db.M.AdvanceClock(nd, db.logForceCost())
+		db.bump(func(s *Stats) { s.CommitForces++ })
+	}
+	// The commit is acknowledged only if its record really reached stable
+	// store — the node may have crashed out from under this goroutine, in
+	// which case restart recovery is the sole arbiter of the outcome.
+	if lsn == 0 || db.Logs[nd].ForcedLSN() < lsn {
+		return fmt.Errorf("recovery: commit of %v interrupted by node failure: %w", t, machine.ErrNodeDown)
+	}
+	return db.finalizeCommit(t)
+}
+
+// flushDeferred appends any commit-deferred update records (AblatedNoLBM
+// only) to the node's log.
+func (db *DB) flushDeferred(nd machine.NodeID, st *txnState) {
+	db.mu.Lock()
+	recs := st.deferred
+	st.deferred = nil
+	db.mu.Unlock()
+	for _, rec := range recs {
+		lsn := db.Logs[nd].Append(rec)
+		db.BM.NoteUpdate(rec.Page, nd, lsn)
+	}
+}
+
+// clearTag nulls rid's undo tag inside a line lock (the record is no longer
+// active once its transaction commits). If the record's line is not cached
+// anywhere — destroyed by a crash racing the commit — there is no tag to
+// clear: tags never reach disk, and restart recovery's tag reconciliation
+// covers any residue.
+func (db *DB) clearTag(nd machine.NodeID, rid heap.RID) error {
+	line, _, err := db.Store.LineOf(rid)
+	if err != nil {
+		return err
+	}
+	if !db.M.Resident(line) {
+		return nil
+	}
+	if err := db.M.GetLine(nd, line); err != nil {
+		if errors.Is(err, machine.ErrLineLost) {
+			return nil // lost between the check and the lock: same story
+		}
+		return err
+	}
+	defer db.mustRelease(nd, line)
+	sd, err := db.Store.ReadSlot(nd, rid)
+	if err != nil {
+		return err
+	}
+	if sd.Tag != machine.NoNode {
+		if err := db.Store.WriteTag(nd, rid, machine.NoNode); err != nil {
+			return err
+		}
+		db.bump(func(s *Stats) { s.TagClears++ })
+	}
+	return nil
+}
+
+// Abort rolls back transaction t using the before images in its node's
+// volatile log, writing a compensation record for every undo, and appends an
+// abort record. Under strict 2PL this simply reinstalls every touched
+// record's prior value. Structural (NTA) updates are not undone — they were
+// committed early precisely so other transactions could use their results.
+func (db *DB) Abort(nd machine.NodeID, t wal.TxnID) error {
+	st, err := db.txn(t)
+	if err != nil {
+		return err
+	}
+	if st.status != TxnActive {
+		return fmt.Errorf("recovery: abort of %v transaction %v", st.status, t)
+	}
+	if t.Node() != nd {
+		return fmt.Errorf("recovery: %v cannot abort on node %d", t, nd)
+	}
+	db.mu.Lock()
+	hasWrites := len(st.writes) > 0
+	db.mu.Unlock()
+	if db.Cfg.Protocol.DeferredLogging() && hasWrites {
+		return fmt.Errorf("recovery: %v cannot abort under %v (no undo information was logged)", t, db.Cfg.Protocol)
+	}
+	for lsn := db.Logs[nd].LastLSNOf(t); lsn != 0; {
+		rec, ok := db.Logs[nd].Get(lsn)
+		if !ok {
+			return fmt.Errorf("recovery: broken log chain for %v at LSN %d", t, lsn)
+		}
+		if rec.Type == wal.TypeUpdate && rec.NTA == 0 {
+			if err := db.installImage(nd, heap.RID{Page: rec.Page, Slot: rec.Slot}, rec.Before, t); err != nil {
+				return err
+			}
+		}
+		lsn = rec.PrevLSN
+	}
+	db.Logs[nd].Append(wal.Record{Type: wal.TypeAbort, Txn: t})
+	db.mu.Lock()
+	st.status = TxnAborted
+	db.stats.Aborts++
+	db.mu.Unlock()
+	return nil
+}
+
+// installImage writes a logged slot image (flags + data) into rid with a
+// fresh version, a null undo tag, and a compensation log record. It is the
+// shared undo mechanism of transaction abort and restart recovery.
+func (db *DB) installImage(nd machine.NodeID, rid heap.RID, img []byte, t wal.TxnID) error {
+	if err := db.BM.Fetch(nd, rid.Page); err != nil {
+		return err
+	}
+	line, _, err := db.Store.LineOf(rid)
+	if err != nil {
+		return err
+	}
+	hdr := db.Store.HeaderLine(rid.Page)
+	if err := db.M.GetLine(nd, hdr); err != nil {
+		return err
+	}
+	if err := db.M.GetLine(nd, line); err != nil {
+		db.mustRelease(nd, hdr)
+		return err
+	}
+	defer db.mustRelease(nd, hdr)
+	defer db.mustRelease(nd, line)
+
+	version := db.NextVersion()
+	flags, data := splitImage(img)
+	lsn := db.Logs[nd].Append(wal.Record{
+		Type: wal.TypeCLR, Txn: t, Page: rid.Page, Slot: rid.Slot,
+		Version: version, After: img,
+	})
+	db.BM.NoteUpdate(rid.Page, nd, lsn)
+	if err := db.Store.WriteSlot(nd, rid, heap.SlotData{
+		Tag: machine.NoNode, Flags: flags, Version: version, Data: data,
+	}); err != nil {
+		return err
+	}
+	if err := db.Store.SetPageVersion(nd, rid.Page, version); err != nil {
+		return err
+	}
+	db.BM.MarkDirty(rid.Page)
+	return nil
+}
+
+// BeginNTA opens a nested top-level action for t (a structural change such
+// as a B-tree split) and returns its id. Updates made with StructuralUpdate
+// under this id survive t's abort.
+func (db *DB) BeginNTA(nd machine.NodeID, t wal.TxnID) (uint64, error) {
+	st, err := db.txn(t)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	if st.nta != 0 {
+		db.mu.Unlock()
+		return 0, fmt.Errorf("recovery: %v already has NTA %d open", t, st.nta)
+	}
+	id := db.NextVersion()
+	st.nta = id
+	db.mu.Unlock()
+	db.Logs[nd].Append(wal.Record{Type: wal.TypeNTABegin, Txn: t, NTA: id})
+	return id, nil
+}
+
+// EndNTA commits the nested top-level action. Under IFA protocols the
+// structural change is committed early: the node's log is forced through the
+// NTA-end record before any other transaction is allowed to use the changed
+// structure, so no cross-node abort dependency can form on it (section 4.2).
+func (db *DB) EndNTA(nd machine.NodeID, t wal.TxnID, nta uint64) error {
+	st, err := db.txn(t)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	if st.nta != nta {
+		db.mu.Unlock()
+		return fmt.Errorf("recovery: %v has NTA %d open, not %d", t, st.nta, nta)
+	}
+	st.nta = 0
+	db.mu.Unlock()
+	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeNTAEnd, Txn: t, NTA: nta})
+	if db.Cfg.Protocol.EarlyCommitsStructural() {
+		if _, forced := db.Logs[nd].Force(lsn); forced {
+			db.M.AdvanceClock(nd, db.logForceCost())
+			db.bump(func(s *Stats) { s.NTAForces++ })
+		}
+	}
+	return nil
+}
+
+// Checkpoint flushes every dirty page (with WAL enforcement), writes a
+// forced checkpoint record to every live node's log, and reclaims log
+// space: everything below both the checkpoint record and the earliest
+// record of any still-active transaction on that node is discarded —
+// committed effects below the horizon are in the stable database (the
+// flush above), and active transactions keep their full undo chains.
+// Restart redo scans begin at each node's last checkpoint.
+func (db *DB) Checkpoint(nd machine.NodeID) error {
+	if err := db.BM.FlushAll(nd); err != nil {
+		return err
+	}
+	for _, n := range db.M.AliveNodes() {
+		lsn := db.Logs[n].Append(wal.Record{Type: wal.TypeCheckpoint})
+		if _, forced := db.Logs[n].Force(lsn); forced {
+			db.M.AdvanceClock(n, db.logForceCost())
+		}
+		low := lsn
+		db.mu.Lock()
+		for _, st := range db.txns {
+			if st.status == TxnActive && !st.crashed && st.id.Node() == n {
+				if f := db.Logs[n].FirstLSNOf(st.id); f > 0 && f < low {
+					low = f
+				}
+			}
+		}
+		db.mu.Unlock()
+		db.Logs[n].DiscardThrough(low - 1)
+	}
+	return nil
+}
+
+// CommittedImage returns the oracle's last committed image of rid (for
+// verification). The boolean is false if rid was never committed.
+func (db *DB) CommittedImage(rid heap.RID) ([]byte, uint64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ci, ok := db.committed[rid]
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), ci.img...), ci.version, true
+}

@@ -1,0 +1,143 @@
+// Package storage simulates the stable storage of the shared-memory database
+// system: a set of shared disks holding the stable database (pages) and one
+// stable log device per node. In the paper's system model (figure 1) every
+// node is connected to all disks; stable storage survives any number of node
+// crashes. Latency is charged by the callers (buffer manager, log manager)
+// to the simulated per-node clocks using the machine's cost model; this
+// package only stores bytes and counts I/O.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a page of the stable database.
+type PageID int32
+
+// NoPage is the null page identifier.
+const NoPage PageID = -1
+
+// ErrNoPage reports a read of a page that has never been written.
+var ErrNoPage = errors.New("storage: page has never been written")
+
+// Disk is a simulated shared disk holding fixed-size pages. It is safe for
+// concurrent use.
+type Disk struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    map[PageID][]byte
+	reads    int64
+	writes   int64
+}
+
+// NewDisk returns an empty disk with the given page size.
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("storage: page size must be positive, got %d", pageSize))
+	}
+	return &Disk{pageSize: pageSize, pages: make(map[PageID][]byte)}
+}
+
+// PageSize returns the page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// ReadPage returns a copy of page id, or ErrNoPage if it was never written.
+func (d *Disk) ReadPage(id PageID) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: page %d", ErrNoPage, id)
+	}
+	d.reads++
+	out := make([]byte, d.pageSize)
+	copy(out, p)
+	return out, nil
+}
+
+// WritePage durably stores page id. Short data is zero-padded; long data is
+// rejected.
+func (d *Disk) WritePage(id PageID, data []byte) error {
+	if len(data) > d.pageSize {
+		return fmt.Errorf("storage: page %d write of %d bytes exceeds page size %d", id, len(data), d.pageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := make([]byte, d.pageSize)
+	copy(p, data)
+	d.pages[id] = p
+	d.writes++
+	return nil
+}
+
+// Exists reports whether page id has ever been written.
+func (d *Disk) Exists(id PageID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.pages[id]
+	return ok
+}
+
+// IOCounts returns the cumulative page reads and writes.
+func (d *Disk) IOCounts() (reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}
+
+// LogDevice is the stable, append-only log device of one node. Forcing a
+// node's volatile log tail appends its encoded records here; the contents
+// survive every crash.
+type LogDevice struct {
+	mu     sync.Mutex
+	buf    []byte
+	forces int64
+}
+
+// NewLogDevice returns an empty stable log device.
+func NewLogDevice() *LogDevice { return &LogDevice{} }
+
+// Append durably appends data and returns the byte offset at which it was
+// written.
+func (d *LogDevice) Append(data []byte) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	off := int64(len(d.buf))
+	d.buf = append(d.buf, data...)
+	d.forces++
+	return off
+}
+
+// Size returns the number of stable bytes.
+func (d *LogDevice) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.buf))
+}
+
+// Forces returns the number of Append calls (physical log forces).
+func (d *LogDevice) Forces() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.forces
+}
+
+// Contents returns a copy of the entire stable log.
+func (d *LogDevice) Contents() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]byte, len(d.buf))
+	copy(out, d.buf)
+	return out
+}
+
+// Truncate replaces the device contents with keep — log-space reclamation
+// after a checkpoint has archived everything older (on real hardware the
+// log is a ring; here the archive is simply dropped).
+func (d *LogDevice) Truncate(keep []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buf = append(d.buf[:0], keep...)
+}

@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := NewDisk(256)
+	if d.PageSize() != 256 {
+		t.Fatalf("PageSize = %d", d.PageSize())
+	}
+	if _, err := d.ReadPage(3); !errors.Is(err, ErrNoPage) {
+		t.Errorf("read of missing page: err = %v, want ErrNoPage", err)
+	}
+	if d.Exists(3) {
+		t.Error("Exists(3) before write")
+	}
+	want := bytes.Repeat([]byte{7}, 256)
+	if err := d.WritePage(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadPage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("read back differs")
+	}
+	if !d.Exists(3) {
+		t.Error("Exists(3) after write")
+	}
+	r, w := d.IOCounts()
+	if r != 1 || w != 1 {
+		t.Errorf("IOCounts = %d, %d; want 1, 1", r, w)
+	}
+}
+
+func TestDiskShortWriteZeroPads(t *testing.T) {
+	d := NewDisk(16)
+	if err := d.WritePage(0, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 16)
+	want[0], want[1] = 1, 2
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDiskOversizeWriteRejected(t *testing.T) {
+	d := NewDisk(8)
+	if err := d.WritePage(0, make([]byte, 9)); err == nil {
+		t.Error("oversize write accepted")
+	}
+}
+
+func TestDiskReadReturnsCopy(t *testing.T) {
+	d := NewDisk(8)
+	if err := d.WritePage(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadPage(0)
+	got[0] = 99
+	again, _ := d.ReadPage(0)
+	if again[0] != 1 {
+		t.Error("ReadPage exposed internal buffer")
+	}
+}
+
+func TestNewDiskPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDisk(0) did not panic")
+		}
+	}()
+	NewDisk(0)
+}
+
+func TestLogDeviceAppend(t *testing.T) {
+	d := NewLogDevice()
+	o1 := d.Append([]byte("abc"))
+	o2 := d.Append([]byte("de"))
+	if o1 != 0 || o2 != 3 {
+		t.Errorf("offsets = %d, %d; want 0, 3", o1, o2)
+	}
+	if d.Size() != 5 {
+		t.Errorf("Size = %d, want 5", d.Size())
+	}
+	if d.Forces() != 2 {
+		t.Errorf("Forces = %d, want 2", d.Forces())
+	}
+	if got := d.Contents(); string(got) != "abcde" {
+		t.Errorf("Contents = %q", got)
+	}
+}
+
+func TestLogDeviceContentsIsCopy(t *testing.T) {
+	d := NewLogDevice()
+	d.Append([]byte{1})
+	c := d.Contents()
+	c[0] = 9
+	if d.Contents()[0] != 1 {
+		t.Error("Contents exposed internal buffer")
+	}
+}
+
+func TestDiskConcurrent(t *testing.T) {
+	d := NewDisk(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				id := PageID(j % 10)
+				_ = d.WritePage(id, []byte{byte(i), byte(j)})
+				if b, err := d.ReadPage(id); err == nil && len(b) != 64 {
+					t.Errorf("short page: %d", len(b))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestQuickDiskLastWriteWins: after any sequence of writes, each page holds
+// its last written (zero-padded) content.
+func TestQuickDiskLastWriteWins(t *testing.T) {
+	type wr struct {
+		ID   uint8
+		Data []byte
+	}
+	f := func(writes []wr) bool {
+		d := NewDisk(32)
+		last := map[PageID][]byte{}
+		for _, w := range writes {
+			data := w.Data
+			if len(data) > 32 {
+				data = data[:32]
+			}
+			id := PageID(w.ID % 8)
+			if err := d.WritePage(id, data); err != nil {
+				return false
+			}
+			p := make([]byte, 32)
+			copy(p, data)
+			last[id] = p
+		}
+		for id, want := range last {
+			got, err := d.ReadPage(id)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLogDeviceIsAppendOnly: the device's contents are always the
+// concatenation of everything appended, and offsets are strictly increasing.
+func TestQuickLogDeviceIsAppendOnly(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		d := NewLogDevice()
+		var want []byte
+		prev := int64(-1)
+		for _, c := range chunks {
+			off := d.Append(c)
+			if off != int64(len(want)) || off <= prev && len(c) > 0 && prev >= 0 && off != prev {
+				return false
+			}
+			prev = off
+			want = append(want, c...)
+		}
+		return bytes.Equal(d.Contents(), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

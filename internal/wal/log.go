@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"smdb/internal/machine"
+	"smdb/internal/storage"
+)
+
+// Log is one node's write-ahead log: a stable prefix on the node's log
+// device and a volatile tail in the node's cache. Appends are volatile;
+// Force moves the tail (up to a chosen LSN) to the device in one physical
+// force. A node crash (Crash) destroys exactly the volatile tail — the
+// paper's section 2 alignment assumption guarantees a node's log lines never
+// migrate, so nothing else is lost and nothing of it survives elsewhere.
+//
+// A Log is safe for concurrent use; in the simulated system only its owning
+// node appends, but recovery on other nodes reads it.
+type Log struct {
+	node machine.NodeID
+	dev  *storage.LogDevice
+
+	mu sync.Mutex
+	// down is set by Crash and cleared by Reopen: a crashed node's CPU has
+	// stopped, so nothing may append to or force its log until restart
+	// (late writes by in-flight goroutines of the dead node are dropped).
+	down bool
+	// recs[i] has LSN first+i; recs[:forced] are stable. first grows when
+	// DiscardThrough reclaims log space.
+	recs      []Record
+	first     LSN // LSN of recs[0]; records below first have been discarded
+	forced    int // count of stable records still retained
+	lastCkpt  LSN // LSN of the most recent checkpoint record, 0 if none
+	lastByTxn map[TxnID]LSN
+	// firstByTxn records each transaction's earliest LSN, the input to the
+	// truncation low-water mark.
+	firstByTxn map[TxnID]LSN
+}
+
+// NewLog creates a log for node n backed by stable device dev. If dev
+// already holds records (a restarted node), they are decoded and become the
+// stable prefix.
+func NewLog(n machine.NodeID, dev *storage.LogDevice) (*Log, error) {
+	l := &Log{node: n, dev: dev, first: 1,
+		lastByTxn: make(map[TxnID]LSN), firstByTxn: make(map[TxnID]LSN)}
+	if dev.Size() > 0 {
+		recs, err := DecodeAll(dev.Contents())
+		if err != nil {
+			return nil, fmt.Errorf("wal: recovering stable log of node %d: %w", n, err)
+		}
+		l.recs = recs
+		l.forced = len(recs)
+		for i := range recs {
+			if recs[i].Type == TypeCheckpoint {
+				l.lastCkpt = recs[i].LSN
+			}
+			l.lastByTxn[recs[i].Txn] = recs[i].LSN
+			if _, ok := l.firstByTxn[recs[i].Txn]; !ok {
+				l.firstByTxn[recs[i].Txn] = recs[i].LSN
+			}
+		}
+	}
+	return l, nil
+}
+
+// Node returns the owning node.
+func (l *Log) Node() machine.NodeID { return l.node }
+
+// Device returns the stable log device backing this log (for force-count
+// accounting in experiments).
+func (l *Log) Device() *storage.LogDevice { return l.dev }
+
+// Append adds r to the volatile tail, assigning and returning its LSN.
+// PrevLSN is filled in automatically from the transaction's previous record
+// in this log (zero for its first).
+// Append returns LSN 0, appending nothing, while the node is down.
+func (l *Log) Append(r Record) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return 0
+	}
+	r.LSN = l.first + LSN(len(l.recs))
+	if r.Txn != 0 {
+		r.PrevLSN = l.lastByTxn[r.Txn]
+		l.lastByTxn[r.Txn] = r.LSN
+		if _, ok := l.firstByTxn[r.Txn]; !ok {
+			l.firstByTxn[r.Txn] = r.LSN
+		}
+	}
+	if r.Type == TypeCheckpoint {
+		l.lastCkpt = r.LSN
+	}
+	l.recs = append(l.recs, r)
+	return r.LSN
+}
+
+// NextLSN returns the LSN the next Append will assign.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first + LSN(len(l.recs))
+}
+
+// ForcedLSN returns the highest stable LSN (0 if nothing is stable).
+func (l *Log) ForcedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.forced == 0 {
+		return l.first - 1
+	}
+	return l.first + LSN(l.forced) - 1
+}
+
+// Force makes all records up to and including upto stable. It returns the
+// number of records written and whether a physical force (device append)
+// occurred, so the caller can charge simulated log-force latency and count
+// force frequency. Forcing an already-stable LSN is a no-op.
+func (l *Log) Force(upto LSN) (records int, forced bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return 0, false
+	}
+	uptoIdx := int(upto-l.first) + 1
+	if uptoIdx > len(l.recs) {
+		uptoIdx = len(l.recs)
+	}
+	if uptoIdx <= l.forced {
+		return 0, false
+	}
+	var buf []byte
+	for i := l.forced; i < uptoIdx; i++ {
+		buf = append(buf, Marshal(&l.recs[i])...)
+	}
+	l.dev.Append(buf)
+	records = uptoIdx - l.forced
+	l.forced = uptoIdx
+	return records, true
+}
+
+// ForceAll forces the entire log.
+func (l *Log) ForceAll() (records int, forced bool) {
+	return l.Force(LSN(1 << 62))
+}
+
+// Crash destroys the volatile tail, as a node failure would, and returns the
+// number of records lost. The log remains usable (for the node's restarted
+// incarnation); its next LSN continues after the stable prefix.
+func (l *Log) Crash() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = true
+	lost := len(l.recs) - l.forced
+	l.recs = l.recs[:l.forced]
+	// Rebuild per-transaction chains and checkpoint marker from what
+	// survived.
+	l.lastByTxn = make(map[TxnID]LSN)
+	l.firstByTxn = make(map[TxnID]LSN)
+	l.lastCkpt = 0
+	for i := range l.recs {
+		if l.recs[i].Txn != 0 {
+			l.lastByTxn[l.recs[i].Txn] = l.recs[i].LSN
+			if _, ok := l.firstByTxn[l.recs[i].Txn]; !ok {
+				l.firstByTxn[l.recs[i].Txn] = l.recs[i].LSN
+			}
+		}
+		if l.recs[i].Type == TypeCheckpoint {
+			l.lastCkpt = l.recs[i].LSN
+		}
+	}
+	return lost
+}
+
+// Reopen re-enables the log for the node's restarted incarnation.
+func (l *Log) Reopen() {
+	l.mu.Lock()
+	l.down = false
+	l.mu.Unlock()
+}
+
+// LastCheckpoint returns the LSN of the most recent checkpoint record (0 if
+// none). Redo scans start just after it.
+func (l *Log) LastCheckpoint() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastCkpt
+}
+
+// Records returns a copy of the records with LSN >= from (use 1 for all).
+// For a live node this is the whole log; after Crash it is the stable
+// prefix only.
+func (l *Log) Records(from LSN) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.first {
+		from = l.first
+	}
+	idx := int(from - l.first)
+	if idx >= len(l.recs) {
+		return nil
+	}
+	out := make([]Record, len(l.recs)-idx)
+	copy(out, l.recs[idx:])
+	return out
+}
+
+// Get returns the record at the given LSN.
+func (l *Log) Get(lsn LSN) (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn < l.first || int(lsn-l.first) >= len(l.recs) {
+		return Record{}, false
+	}
+	return l.recs[lsn-l.first], true
+}
+
+// LastLSNOf returns the LSN of the transaction's most recent record in this
+// log (0 if none). Abort walks the PrevLSN chain from here.
+func (l *Log) LastLSNOf(t TxnID) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastByTxn[t]
+}
+
+// Len returns the number of records (stable + volatile).
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// FirstLSNOf returns the LSN of the transaction's earliest retained record
+// (0 if none). It is the per-transaction component of the truncation
+// low-water mark.
+func (l *Log) FirstLSNOf(t TxnID) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstByTxn[t]
+}
+
+// FirstLSN returns the LSN of the oldest retained record.
+func (l *Log) FirstLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
+}
+
+// DiscardThrough reclaims log space by discarding every record with
+// LSN <= upto, from memory and from the stable device (the archive is
+// dropped). The caller — the checkpointer — guarantees upto is stable and
+// below both the last checkpoint record and every active transaction's
+// first LSN, so nothing recovery could ever need is lost. Out-of-range
+// requests are clamped; discarding nothing is a no-op.
+func (l *Log) DiscardThrough(upto LSN) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	maxStable := l.first + LSN(l.forced) - 1
+	if upto > maxStable {
+		upto = maxStable
+	}
+	drop := int(upto-l.first) + 1
+	if drop <= 0 {
+		return 0
+	}
+	l.recs = append([]Record(nil), l.recs[drop:]...)
+	l.first = upto + 1
+	l.forced -= drop
+	// Re-encode the retained stable prefix onto the device.
+	var buf []byte
+	for i := 0; i < l.forced; i++ {
+		buf = append(buf, Marshal(&l.recs[i])...)
+	}
+	l.dev.Truncate(buf)
+	// Forget chains that now point entirely below the horizon.
+	for t, last := range l.lastByTxn {
+		if last < l.first {
+			delete(l.lastByTxn, t)
+			delete(l.firstByTxn, t)
+		}
+	}
+	return drop
+}
+
+// StableRecords decodes and returns the records on the stable device,
+// re-based to their true LSNs. It is what restart recovery can read for a
+// crashed node.
+func (l *Log) StableRecords() ([]Record, error) {
+	recs, err := DecodeAll(l.dev.Contents())
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	base := l.first - 1
+	l.mu.Unlock()
+	for i := range recs {
+		recs[i].LSN += base
+	}
+	return recs, nil
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/txn"
+)
+
+// RunConcurrent drives the workload with one goroutine per live node — real
+// parallelism against the thread-safe simulated machine, for stress tests
+// and wall-clock benchmarks. Workers stop early when the stop channel
+// closes or their node crashes (machine.ErrNodeDown); transactions in
+// flight at that moment are left active, exactly as a crash would leave
+// them, so the caller can proceed to Recover and CheckIFA.
+//
+// Unlike Run, interleaving is scheduler-dependent; per-worker PRNGs keep
+// each node's operation stream (though not the global order) reproducible.
+func (r *Runner) RunConcurrent(stop <-chan struct{}) (Result, error) {
+	var (
+		res      Result
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		opCount  atomic.Int64
+	)
+	stopNow := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	start := r.DB.M.MaxClock()
+	for _, nd := range r.DB.M.AliveNodes() {
+		nd := nd
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local, err := r.runWorker(nd, stopNow, &opCount)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Committed += local.Committed
+			res.Aborted += local.Aborted
+			res.Reads += local.Reads
+			res.Writes += local.Writes
+			res.BlockedRetries += local.BlockedRetries
+			res.Deadlocks += local.Deadlocks
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}()
+	}
+	wg.Wait()
+	res.SimTime = r.DB.M.MaxClock() - start
+	if ops := res.Reads + res.Writes; ops > 0 {
+		res.SimTimePerOp = res.SimTime / int64(ops)
+	}
+	return res, firstErr
+}
+
+// runWorker executes one node's transaction quota.
+func (r *Runner) runWorker(nd machine.NodeID, stopNow func() bool, opCount *atomic.Int64) (Result, error) {
+	var res Result
+	rng := rand.New(rand.NewSource(r.Spec.Seed + int64(nd)*7919))
+	for t := 0; t < r.Spec.TxnsPerNode; t++ {
+		if stopNow() {
+			return res, nil
+		}
+		tx, err := r.Mgr.Begin(nd)
+		if errors.Is(err, machine.ErrNodeDown) {
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		willAbort := rng.Float64() < r.Spec.AbortFraction
+		dead := false
+		for op := 0; op < r.Spec.OpsPerTxn; op++ {
+			rid := r.pickRIDWith(rng, nd)
+			read := rng.Float64() < r.Spec.ReadFraction
+			for {
+				if stopNow() {
+					return res, nil // leave the transaction in flight
+				}
+				var err error
+				if read {
+					_, err = tx.Read(rid)
+				} else {
+					err = tx.Write(rid, []byte{byte(rng.Intn(250) + 2), byte(nd)})
+				}
+				switch {
+				case err == nil:
+					if read {
+						res.Reads++
+					} else {
+						res.Writes++
+					}
+					opCount.Add(1)
+				case errors.Is(err, txn.ErrBlocked), errors.Is(err, machine.ErrLineLost):
+					// Lock wait, or a stall on data destroyed by a crash
+					// that recovery has not yet repaired.
+					res.BlockedRetries++
+					runtime.Gosched()
+					continue
+				case errors.Is(err, txn.ErrDeadlock):
+					res.Deadlocks++
+					res.Aborted++
+					if err := tx.Abort(); err != nil && !errors.Is(err, machine.ErrNodeDown) {
+						return res, err
+					}
+					dead = true
+				case errors.Is(err, machine.ErrNodeDown):
+					return res, nil // crashed mid-transaction: leave it for recovery
+				case errors.Is(err, txn.ErrNotFound):
+					res.Reads++
+				default:
+					return res, fmt.Errorf("workload: node %d concurrent op on %v: %w", nd, rid, err)
+				}
+				break
+			}
+			if dead {
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		for {
+			var finErr error
+			if willAbort {
+				finErr = tx.Abort()
+			} else {
+				finErr = tx.Commit()
+			}
+			switch {
+			case finErr == nil:
+			case errors.Is(finErr, txn.ErrBlocked):
+				if stopNow() {
+					return res, nil // left in flight for recovery
+				}
+				runtime.Gosched()
+				continue
+			case errors.Is(finErr, machine.ErrNodeDown):
+				return res, nil
+			default:
+				return res, finErr
+			}
+			if willAbort {
+				res.Aborted++
+			} else {
+				res.Committed++
+			}
+			break
+		}
+	}
+	return res, nil
+}
+
+// pickRIDWith is pickRID with an explicit PRNG (per-worker).
+func (r *Runner) pickRIDWith(rng *rand.Rand, nd machine.NodeID) heap.RID {
+	if rng.Float64() < r.Spec.SharingFraction && len(r.sp.shared) > 0 {
+		pool := r.sp.shared
+		if r.Spec.HotSpot > 0 && rng.Float64() < r.Spec.HotProb {
+			hot := int(float64(len(pool)) * r.Spec.HotSpot)
+			if hot < 1 {
+				hot = 1
+			}
+			return pool[rng.Intn(hot)]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	part := r.sp.private[nd]
+	if len(part) == 0 {
+		return r.sp.shared[rng.Intn(len(r.sp.shared))]
+	}
+	return part[rng.Intn(len(part))]
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+)
+
+func newDB(t *testing.T, proto recovery.Protocol, nodes int) *recovery.DB {
+	t.Helper()
+	db, err := recovery.New(recovery.Config{
+		Machine:        machine.Config{Nodes: nodes, Lines: 4096},
+		Protocol:       proto,
+		LinesPerPage:   4,
+		RecsPerLine:    4,
+		Pages:          8,
+		LockTableLines: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Seed(db, 0); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunCompletesAllTxns(t *testing.T) {
+	db := newDB(t, recovery.VolatileSelectiveRedo, 4)
+	r := NewRunner(db, Spec{TxnsPerNode: 5, OpsPerTxn: 6, ReadFraction: 0.5, SharingFraction: 0.3, Seed: 1})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Committed + res.Aborted; got != 4*5 {
+		t.Errorf("finished %d transactions, want 20 (%s)", got, res)
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Errorf("mix missing: %s", res)
+	}
+	if res.SimTime <= 0 || res.SimTimePerOp <= 0 {
+		t.Errorf("no simulated time recorded: %s", res)
+	}
+	// Everything finished: IFA trivially holds pre-crash.
+	if v := db.CheckIFA(0); len(v) != 0 {
+		t.Errorf("post-run check: %v", v)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Result, machine.Stats) {
+		db := newDB(t, recovery.VolatileSelectiveRedo, 3)
+		r := NewRunner(db, Spec{TxnsPerNode: 4, OpsPerTxn: 5, ReadFraction: 0.4, SharingFraction: 0.6, Seed: 42})
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, db.M.Stats()
+	}
+	a, am := run()
+	b, bm := run()
+	if a != b {
+		t.Errorf("results differ:\n%v\n%v", a, b)
+	}
+	if am != bm {
+		t.Errorf("machine stats differ:\n%+v\n%+v", am, bm)
+	}
+}
+
+func TestAbortFraction(t *testing.T) {
+	db := newDB(t, recovery.VolatileRedoAll, 2)
+	r := NewRunner(db, Spec{TxnsPerNode: 20, OpsPerTxn: 3, AbortFraction: 1.0, Seed: 7})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 0 || res.Aborted != 40 {
+		t.Errorf("abort fraction not honored: %s", res)
+	}
+	if v := db.VerifyCommittedDurability(0); len(v) != 0 {
+		t.Errorf("aborts corrupted committed state: %v", v)
+	}
+}
+
+func TestSharingDrivesCoherencyTraffic(t *testing.T) {
+	traffic := func(sharing float64) int64 {
+		db := newDB(t, recovery.VolatileSelectiveRedo, 4)
+		db.M.ResetStats()
+		r := NewRunner(db, Spec{TxnsPerNode: 10, OpsPerTxn: 8, ReadFraction: 0.2, SharingFraction: sharing, Seed: 5})
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		s := db.M.Stats()
+		return s.Migrations + s.Downgrades + s.Invalidations
+	}
+	lo := traffic(0.0)
+	hi := traffic(0.9)
+	if hi <= lo {
+		t.Errorf("coherency traffic: sharing=0.9 gives %d, sharing=0 gives %d; want more with sharing", hi, lo)
+	}
+}
+
+func TestMidFlightCrashWithWorkload(t *testing.T) {
+	db := newDB(t, recovery.VolatileSelectiveRedo, 4)
+	r := NewRunner(db, Spec{TxnsPerNode: 6, OpsPerTxn: 10, ReadFraction: 0.3, SharingFraction: 0.7, Seed: 11})
+	if _, err := r.RunUntilMidFlight(12); err != nil {
+		t.Fatal(err)
+	}
+	active := db.ActiveTxns(machine.NoNode)
+	if len(active) == 0 {
+		t.Fatal("no transactions in flight")
+	}
+	db.Crash(2)
+	if _, err := db.Recover([]machine.NodeID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if v := db.CheckIFA(0); len(v) != 0 {
+		for _, s := range v {
+			t.Errorf("IFA violation: %s", s)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package smdb_test
+
+import (
+	"errors"
+	"testing"
+
+	"smdb"
+)
+
+func TestOpenDefaults(t *testing.T) {
+	db, err := smdb.Open(smdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.AliveNodes()); got != 4 {
+		t.Errorf("default nodes = %d, want 4", got)
+	}
+	if db.Index != nil {
+		t.Error("index present without IndexPages")
+	}
+}
+
+func TestEndToEndCrashRecovery(t *testing.T) {
+	db, err := smdb.Open(smdb.Options{Nodes: 2, Protocol: smdb.VolatileSelectiveRedo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid := smdb.NewRID(0, 0)
+	setup, err := db.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Insert(rid, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	victim, err := db.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Write(rid, []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	rep := db.Crash(1)
+	if len(rep.Crashed) != 1 {
+		t.Fatalf("crash report: %+v", rep)
+	}
+	rr, err := db.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Aborted) != 1 || rr.Aborted[0] != victim.ID() {
+		t.Errorf("aborted = %v, want the victim", rr.Aborted)
+	}
+	if v := db.CheckIFA(); len(v) != 0 {
+		t.Errorf("IFA violations: %v", v)
+	}
+	reader, err := db.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.Read(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:9]) != "committed" {
+		t.Errorf("value = %q, want committed prefix", got[:9])
+	}
+	if err := db.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := db.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Write(rid, []byte("again")); !errors.Is(err, smdb.ErrBlocked) && err != nil {
+		t.Fatalf("restarted node write: %v", err)
+	}
+}
+
+func TestOpenWithIndex(t *testing.T) {
+	db, err := smdb.Open(smdb.Options{Nodes: 2, Pages: 64, IndexPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Index == nil {
+		t.Fatal("no index")
+	}
+	tx, err := db.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Index.Insert(tx, 42, 4200); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ty, _ := db.Begin(1)
+	v, err := db.Index.Lookup(ty, 42)
+	if err != nil || v != 4200 {
+		t.Errorf("lookup = %d, %v", v, err)
+	}
+	if s := db.Stats(); s.Machine.Reads == 0 || s.Locks.Acquires == 0 {
+		t.Errorf("stats empty: %+v", s)
+	}
+}
+
+func TestOpenChainedAndParallel(t *testing.T) {
+	db, err := smdb.Open(smdb.Options{Nodes: 3, ChainedLCBs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid := smdb.NewRID(0, 0)
+	setup, _ := db.Begin(0)
+	if err := setup.Insert(rid, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.BeginParallel(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.On(1).Write(rid, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash a participant after commit: the committed value persists.
+	db.Crash(1)
+	if _, err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	check, _ := db.Begin(0)
+	got, err := check.Read(rid)
+	if err != nil || got[0] != 2 {
+		t.Errorf("parallel commit lost: %v, %v", got, err)
+	}
+	if v := db.CheckIFA(); len(v) != 0 {
+		t.Errorf("IFA: %v", v)
+	}
+}
+
+func TestOpenAblated(t *testing.T) {
+	db, err := smdb.Open(smdb.Options{Nodes: 2, Protocol: smdb.AblatedNoLBM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.AliveNodes()); got != 2 {
+		t.Fatalf("nodes = %d", got)
+	}
+}
