@@ -117,7 +117,7 @@ func BenchmarkRuntimeOverhead(b *testing.B) {
 // All vs Selective Redo as the post-checkpoint backlog grows.
 func BenchmarkRestartRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.RunRestart([]int{64, 256}, int64(i+1))
+		res, err := harness.RunRestart([]int{64, 256}, int64(i+1), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +212,7 @@ func BenchmarkBTreeRecovery(b *testing.B) {
 func BenchmarkLockSpaceRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, chained := range []bool{false, true} {
-			res, err := harness.RunLockRecovery(recovery.VolatileSelectiveRedo, 8, int64(i+1), chained)
+			res, err := harness.RunLockRecovery(recovery.VolatileSelectiveRedo, 8, int64(i+1), chained, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -4,152 +4,245 @@
 //
 // Usage:
 //
-//	smdb-bench [-exp all|table1|linelock|aborts|runtime|restart|forces|broadcast|locks|btree|lockrecovery] [-seed N]
+//	smdb-bench [-exp all|table1|linelock|...] [-seed N] [-trace out.json] [-metrics]
+//
+// -trace writes a Chrome trace-event JSON file (load it at ui.perfetto.dev
+// or chrome://tracing) covering the traced experiments — restart recovery's
+// phase spans in particular. -metrics prints the observability layer's
+// Prometheus text exposition and latency table after the experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"smdb/internal/harness"
+	"smdb/internal/obs"
 	"smdb/internal/recovery"
 )
 
+// experiment is one runnable entry: run prints its table(s) or fails.
+type experiment struct {
+	name   string
+	id     string
+	title  string
+	source string
+	run    func(seed int64, o *obs.Observer) (string, error)
+}
+
+var experiments = []experiment{
+	{"table1", "E1", "incremental overheads of the IFA protocols", "Table 1",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunTable1(seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"linelock", "E2", "line-lock acquisition latency vs contention", "section 5.1 measurements",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunLineLock(nil, 200, 0)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"aborts", "E3", "unnecessary aborts after a one-node crash", "sections 1, 3, 9",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunAborts(8, nil, nil, seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"runtime", "E4", "failure-free runtime cost per protocol", "sections 4.1.1, 5, 7",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunRuntime(8, 0.5, seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"restart", "E5", "restart recovery: Redo All vs Selective Redo", "section 4.1.2",
+		func(seed int64, o *obs.Observer) (string, error) {
+			res, err := harness.RunRestart(nil, seed, o)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"forces", "E6", "log-force frequency vs inter-node sharing", "section 5.2",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunForces(nil, seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"broadcast", "E7", "write-broadcast coherency: no migration, undo-only recovery", "section 7",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunBroadcast(seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"locks", "E8", "SM locking vs message-passing (shared-disk) locking", "sections 4.2.2, 7, ref [20]",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunLocks(nil, 200, seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"btree", "E9", "B-tree crash recovery with early-committed splits", "section 4.2.1",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunBTreeRecovery(recovery.VolatileSelectiveRedo, 80, seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"lockrecovery", "E10", "lock-space recovery: LCB loss, release, and rebuild", "section 4.2.2",
+		func(seed int64, o *obs.Observer) (string, error) {
+			var b strings.Builder
+			for _, chained := range []bool{false, true} {
+				res, err := harness.RunLockRecovery(recovery.VolatileSelectiveRedo, 8, seed, chained, o)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(res.Table())
+			}
+			return b.String(), nil
+		}},
+	{"ablation", "E11", "ablation: the same crash scenarios with LBM disabled", "negative control; sections 3-4",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunAblation()
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"parallel", "E12", "parallel (multi-node) transactions: one crashed branch dooms all", "section 9",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunParallel(recovery.VolatileSelectiveRedo, 4)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"scaling", "E13", "availability scaling: lost work per year vs machine size", "sections 1, 3.3",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunScaling(nil, seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"hotspot", "E14", "access skew: migration pressure and force rates", "sections 3.2, 5.2 (worst-case sharing)",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunHotspot(nil, seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"osstruct", "E15", "operating-system structures: semaphores and the disk map", "section 9 (conclusions)",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunOSStruct()
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+}
+
+func expNames() []string {
+	names := make([]string, 0, len(experiments)+1)
+	names = append(names, "all")
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	return names
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: smdb-bench [-exp %s] [-seed N] [-trace out.json] [-metrics]\n",
+		strings.Join(expNames(), "|"))
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, linelock, aborts, runtime, restart, forces, broadcast, locks, btree, lockrecovery, ablation, parallel, scaling, hotspot, osstruct)")
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(expNames(), ", ")+")")
 	seed := flag.Int64("seed", 1, "workload seed")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	metrics := flag.Bool("metrics", false, "print the observability metrics after the experiments")
+	flag.Usage = usage
 	flag.Parse()
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
-	header := func(id, title, source string) {
-		fmt.Printf("\n=== %s: %s\n    (paper: %s)\n\n", id, title, source)
+	known := *exp == "all"
+	for _, e := range experiments {
+		if e.name == *exp {
+			known = true
+		}
 	}
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
+	if !known {
+		fmt.Fprintf(os.Stderr, "smdb-bench: unknown experiment %q\n", *exp)
+		usage()
 		os.Exit(1)
 	}
 
-	if run("table1") {
-		header("E1", "incremental overheads of the IFA protocols", "Table 1")
-		res, err := harness.RunTable1(*seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
+	var tracer *obs.Observer
+	if *tracePath != "" || *metrics {
+		tracer = obs.New()
 	}
-	if run("linelock") {
-		header("E2", "line-lock acquisition latency vs contention", "section 5.1 measurements")
-		res, err := harness.RunLineLock(nil, 200, 0)
-		if err != nil {
-			fail(err)
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
 		}
-		fmt.Print(res.Table())
-	}
-	if run("aborts") {
-		header("E3", "unnecessary aborts after a one-node crash", "sections 1, 3, 9")
-		res, err := harness.RunAborts(8, nil, nil, *seed)
+		fmt.Printf("\n=== %s: %s\n    (paper: %s)\n\n", e.id, e.title, e.source)
+		table, err := e.run(*seed, tracer)
 		if err != nil {
-			fail(err)
+			fmt.Fprintf(os.Stderr, "smdb-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
 		}
-		fmt.Print(res.Table())
+		fmt.Print(table)
+		ran++
 	}
-	if run("runtime") {
-		header("E4", "failure-free runtime cost per protocol", "sections 4.1.1, 5, 7")
-		res, err := harness.RunRuntime(8, 0.5, *seed)
-		if err != nil {
-			fail(err)
+	if ran == 0 {
+		usage()
+		os.Exit(1)
+	}
+
+	if *metrics {
+		fmt.Printf("\n=== observability metrics\n\n")
+		if err := tracer.MetricsTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "smdb-bench: metrics: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Print(res.Table())
-	}
-	if run("restart") {
-		header("E5", "restart recovery: Redo All vs Selective Redo", "section 4.1.2")
-		res, err := harness.RunRestart(nil, *seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
-	}
-	if run("forces") {
-		header("E6", "log-force frequency vs inter-node sharing", "section 5.2")
-		res, err := harness.RunForces(nil, *seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
-	}
-	if run("broadcast") {
-		header("E7", "write-broadcast coherency: no migration, undo-only recovery", "section 7")
-		res, err := harness.RunBroadcast(*seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
-	}
-	if run("locks") {
-		header("E8", "SM locking vs message-passing (shared-disk) locking", "sections 4.2.2, 7, ref [20]")
-		res, err := harness.RunLocks(nil, 200, *seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
-	}
-	if run("btree") {
-		header("E9", "B-tree crash recovery with early-committed splits", "section 4.2.1")
-		res, err := harness.RunBTreeRecovery(recovery.VolatileSelectiveRedo, 80, *seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
-	}
-	if run("lockrecovery") {
-		header("E10", "lock-space recovery: LCB loss, release, and rebuild", "section 4.2.2")
-		for _, chained := range []bool{false, true} {
-			res, err := harness.RunLockRecovery(recovery.VolatileSelectiveRedo, 8, *seed, chained)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Print(res.Table())
+		fmt.Println()
+		if err := tracer.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "smdb-bench: metrics: %v\n", err)
+			os.Exit(1)
 		}
 	}
-	if run("ablation") {
-		header("E11", "ablation: the same crash scenarios with LBM disabled", "negative control; sections 3-4")
-		res, err := harness.RunAblation()
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
 		if err != nil {
-			fail(err)
+			fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Print(res.Table())
-	}
-	if run("scaling") {
-		header("E13", "availability scaling: lost work per year vs machine size", "sections 1, 3.3")
-		res, err := harness.RunScaling(nil, *seed)
-		if err != nil {
-			fail(err)
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "smdb-bench: writing trace: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Print(res.Table())
-	}
-	if run("hotspot") {
-		header("E14", "access skew: migration pressure and force rates", "sections 3.2, 5.2 (worst-case sharing)")
-		res, err := harness.RunHotspot(nil, *seed)
-		if err != nil {
-			fail(err)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Print(res.Table())
-	}
-	if run("osstruct") {
-		header("E15", "operating-system structures: semaphores and the disk map", "section 9 (conclusions)")
-		res, err := harness.RunOSStruct()
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
-	}
-	if run("parallel") {
-		header("E12", "parallel (multi-node) transactions: one crashed branch dooms all", "section 9")
-		res, err := harness.RunParallel(recovery.VolatileSelectiveRedo, 4)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(res.Table())
+		fmt.Fprintf(os.Stderr, "smdb-bench: wrote %s (load at ui.perfetto.dev)\n", *tracePath)
 	}
 }

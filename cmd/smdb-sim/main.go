@@ -7,7 +7,11 @@
 //
 //	smdb-sim [-nodes 8] [-protocol volatile-selective] [-crash 3,5]
 //	         [-sharing 0.6] [-recsperline 4] [-coherency invalidate]
-//	         [-txns 8] [-ops 10] [-seed 1]
+//	         [-txns 8] [-ops 10] [-seed 1] [-trace out.json] [-metrics]
+//
+// -trace writes the run as Chrome trace-event JSON (load it at
+// ui.perfetto.dev); -metrics prints the observability layer's latency
+// histograms and event counts after the run.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/recovery"
 	"smdb/internal/workload"
 )
@@ -42,6 +47,8 @@ func main() {
 	txns := flag.Int("txns", 8, "transactions per node")
 	ops := flag.Int("ops", 10, "operations per transaction")
 	seed := flag.Int64("seed", 1, "workload seed")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	metrics := flag.Bool("metrics", false, "print the observability metrics after the run")
 	flag.Parse()
 
 	proto, ok := protocols[*protoName]
@@ -73,6 +80,11 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	var tracer *obs.Observer
+	if *tracePath != "" || *metrics {
+		tracer = obs.New()
+		db.AttachObserver(tracer)
 	}
 	fmt.Printf("machine: %d nodes, %s coherency, %d records per %dB line\n",
 		*nodes, coh, *recsPerLine, db.M.LineSize())
@@ -109,7 +121,8 @@ func main() {
 	fmt.Printf("  tag-scan lines       : %d\n", rec.TagScanLines)
 	fmt.Printf("  LCBs reinstalled     : %d, lock entries released: %d, locks replayed: %d\n",
 		rec.LCBsReinstalled, rec.LockEntriesReleased, rec.LocksReplayed)
-	fmt.Printf("  simulated duration   : %.2fms\n\n", float64(rec.SimTime)/1e6)
+	fmt.Printf("  simulated duration   : %.2fms\n", float64(rec.SimTime)/1e6)
+	fmt.Printf("  phase breakdown      : %s\n\n", obs.FormatPhases(rec.Phases))
 
 	alive := db.M.AliveNodes()
 	if len(alive) == 0 {
@@ -139,6 +152,26 @@ func main() {
 	st := db.M.Stats()
 	fmt.Printf("\ncoherency traffic: %d migrations, %d downgrades, %d invalidations, %d lines lost\n",
 		st.Migrations, st.Downgrades, st.Invalidations, st.LinesLost)
+
+	if *metrics {
+		fmt.Println()
+		if err := tracer.MetricsTable(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smdb-sim: wrote %s (load at ui.perfetto.dev)\n", *tracePath)
+	}
 }
 
 func fatal(err error) {

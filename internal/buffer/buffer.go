@@ -21,6 +21,7 @@ import (
 
 	"smdb/internal/heap"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -38,6 +39,18 @@ type Stats struct {
 	WALForces int64
 }
 
+// Sub returns the per-interval delta s - prev (see machine.Stats.Sub).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Fetches:     s.Fetches - prev.Fetches,
+		DiskFetches: s.DiskFetches - prev.DiskFetches,
+		Formats:     s.Formats - prev.Formats,
+		Flushes:     s.Flushes - prev.Flushes,
+		Steals:      s.Steals - prev.Steals,
+		WALForces:   s.WALForces - prev.WALForces,
+	}
+}
+
 // Manager is the buffer manager. It is safe for concurrent use.
 type Manager struct {
 	Store *heap.Store
@@ -53,6 +66,22 @@ type Manager struct {
 	dirty    map[storage.PageID]bool
 	updTable map[storage.PageID]map[machine.NodeID]wal.LSN
 	stats    Stats
+	obs      *obs.Observer
+}
+
+// SetObserver attaches the observability layer; disk fetches, flushes, and
+// WAL-rule log forces are reported against the requesting node's clock.
+func (b *Manager) SetObserver(o *obs.Observer) {
+	b.mu.Lock()
+	b.obs = o
+	b.mu.Unlock()
+}
+
+// observer returns the attached observer (possibly nil).
+func (b *Manager) observer() *obs.Observer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.obs
 }
 
 // NewManager creates a buffer manager over the given store, disk, and
@@ -102,6 +131,9 @@ func (b *Manager) Fetch(nd machine.NodeID, p storage.PageID) error {
 	b.mu.Lock()
 	b.stats.DiskFetches++
 	b.mu.Unlock()
+	if o := b.observer(); o != nil {
+		o.Instant(obs.KindPageFetch, int32(nd), b.Store.M.Clock(nd), int64(p), 1)
+	}
 	return b.Store.InstallImage(nd, p, img[:b.Store.Layout.PageBytes()], true)
 }
 
@@ -173,10 +205,12 @@ func (b *Manager) FlushPage(nd machine.NodeID, p storage.PageID) error {
 			continue
 		}
 		if _, forced := b.Logs[n].Force(lsn); forced {
-			b.Store.M.AdvanceClock(nd, b.logForceCost())
+			cost := b.logForceCost()
+			b.Store.M.AdvanceClock(nd, cost)
 			b.mu.Lock()
 			b.stats.WALForces++
 			b.mu.Unlock()
+			b.observer().ObserveLogForce(cost)
 		}
 	}
 
@@ -200,7 +234,15 @@ func (b *Manager) FlushPage(nd machine.NodeID, p storage.PageID) error {
 	}
 	delete(b.dirty, p)
 	delete(b.updTable, p)
+	o := b.obs
 	b.mu.Unlock()
+	if o != nil {
+		var stole int64
+		if steal {
+			stole = 1
+		}
+		o.Instant(obs.KindPageFlush, int32(nd), b.Store.M.Clock(nd), int64(p), stole)
+	}
 	return nil
 }
 

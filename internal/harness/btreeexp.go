@@ -6,6 +6,7 @@ import (
 	"smdb/internal/btree"
 	"smdb/internal/heap"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/recovery"
 	"smdb/internal/storage"
 	"smdb/internal/txn"
@@ -147,14 +148,17 @@ type LockRecoveryResult struct {
 	// control blocks; Reinstalled/Released/Replayed the recovery work;
 	// ChainsDropped whole chained LCBs discarded for rebuild.
 	LocksHeld, LCBsLost, Reinstalled, Released, Replayed, ChainsDropped int
-	// SimTime is recovery duration; Violations the IFA check.
+	// SimTime is recovery duration; Phases its per-phase breakdown;
+	// Violations the IFA check.
 	SimTime    int64
+	Phases     []obs.PhaseSpan
 	Violations int
 }
 
 // RunLockRecovery builds a lock-heavy state and crashes the node that
-// acquired last (so it holds most LCB lines).
-func RunLockRecovery(proto recovery.Protocol, locksPerNode int, seed int64, chained bool) (*LockRecoveryResult, error) {
+// acquired last (so it holds most LCB lines). A non-nil observer is
+// attached to the run for tracing.
+func RunLockRecovery(proto recovery.Protocol, locksPerNode int, seed int64, chained bool, o *obs.Observer) (*LockRecoveryResult, error) {
 	const nodes = 4
 	db, err := recovery.New(recovery.Config{
 		Machine:        machine.Config{Nodes: nodes, Lines: defaultPages*4 + 1024 + 128},
@@ -172,6 +176,14 @@ func RunLockRecovery(proto recovery.Protocol, locksPerNode int, seed int64, chai
 		return nil, err
 	}
 	db.M.ResetStats()
+	if o != nil {
+		mode := "one-line"
+		if chained {
+			mode = "chained"
+		}
+		o.BeginProcess(fmt.Sprintf("lock-recovery %v %s", proto, mode))
+		db.AttachObserver(o)
+	}
 	mgr := txn.NewManager(db)
 	slots := db.Store.Layout.SlotsPerPage()
 	// One transaction per node in the one-line mode; four per node in the
@@ -221,6 +233,7 @@ func RunLockRecovery(proto recovery.Protocol, locksPerNode int, seed int64, chai
 		Replayed:      rep.LocksReplayed,
 		ChainsDropped: rep.LCBChainsDropped,
 		SimTime:       rep.SimTime,
+		Phases:        rep.Phases,
 		Violations:    len(db.CheckIFA(0)),
 	}, nil
 }
@@ -255,7 +268,7 @@ func ridAt(i, slotsPerPage int) heap.RID {
 // Table renders the result.
 func (r *LockRecoveryResult) Table() string {
 	t := &tableWriter{header: []string{
-		"protocol", "lcb-mode", "locks-held", "lcbs-lost", "chains-dropped", "reinstalled", "entries-released", "locks-replayed", "recovery-time", "ifa-violations",
+		"protocol", "lcb-mode", "locks-held", "lcbs-lost", "chains-dropped", "reinstalled", "entries-released", "locks-replayed", "recovery-time", "phase-breakdown", "ifa-violations",
 	}}
 	mode := "one-line"
 	if r.Chained {
@@ -271,6 +284,7 @@ func (r *LockRecoveryResult) Table() string {
 		fmt.Sprintf("%d", r.Released),
 		fmt.Sprintf("%d", r.Replayed),
 		ms(r.SimTime),
+		obs.FormatPhases(r.Phases),
 		fmt.Sprintf("%d", r.Violations),
 	)
 	return t.String()

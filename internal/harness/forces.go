@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"smdb/internal/obs"
 	"smdb/internal/recovery"
 	"smdb/internal/workload"
 )
@@ -24,6 +25,9 @@ type ForcesPoint struct {
 	ForcesPerKUpdate float64
 	// TriggerFires counts coherency-trigger callback invocations.
 	TriggerFires int64
+	// ForceP50NS/ForceP99NS are log-force latency quantiles from a per-run
+	// observer's histogram (simulated ns; 0 when the run forced nothing).
+	ForceP50NS, ForceP99NS int64
 }
 
 // ForcesResult is the sweep.
@@ -43,6 +47,8 @@ func RunForces(sharing []float64, seed int64) (*ForcesResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			o := obs.New()
+			db.AttachObserver(o)
 			forces0 := totalLogForces(db)
 			r := workload.NewRunner(db, workload.Spec{
 				TxnsPerNode: 6, OpsPerTxn: 10,
@@ -64,6 +70,10 @@ func RunForces(sharing []float64, seed int64) (*ForcesResult, error) {
 			if p.Updates > 0 {
 				p.ForcesPerKUpdate = 1000 * float64(p.PhysForces) / float64(p.Updates)
 			}
+			if h := o.LogForceHist().Snapshot(); h.Count > 0 {
+				p.ForceP50NS = h.Quantile(0.50)
+				p.ForceP99NS = h.Quantile(0.99)
+			}
 			res.Points = append(res.Points, p)
 		}
 	}
@@ -73,7 +83,7 @@ func RunForces(sharing []float64, seed int64) (*ForcesResult, error) {
 // Table renders the sweep.
 func (r *ForcesResult) Table() string {
 	t := &tableWriter{header: []string{
-		"protocol", "sharing", "updates", "LBM-forces", "phys-forces", "forces/1k-updates", "trigger-fires",
+		"protocol", "sharing", "updates", "LBM-forces", "phys-forces", "forces/1k-updates", "force-p50", "force-p99", "trigger-fires",
 	}}
 	for _, p := range r.Points {
 		t.addRow(
@@ -83,6 +93,8 @@ func (r *ForcesResult) Table() string {
 			fmt.Sprintf("%d", p.LBMForces),
 			fmt.Sprintf("%d", p.PhysForces),
 			fmt.Sprintf("%.1f", p.ForcesPerKUpdate),
+			us(p.ForceP50NS),
+			us(p.ForceP99NS),
 			fmt.Sprintf("%d", p.TriggerFires),
 		)
 	}

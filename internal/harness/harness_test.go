@@ -191,7 +191,7 @@ func TestRuntimeShapes(t *testing.T) {
 }
 
 func TestRestartShapes(t *testing.T) {
-	res, err := RunRestart([]int{64, 256}, 5)
+	res, err := RunRestart([]int{64, 256}, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +336,7 @@ func TestBTreeRecoveryShapes(t *testing.T) {
 
 func TestLockRecoveryShapes(t *testing.T) {
 	for _, chained := range []bool{false, true} {
-		res, err := RunLockRecovery(recovery.VolatileSelectiveRedo, 8, 10, chained)
+		res, err := RunLockRecovery(recovery.VolatileSelectiveRedo, 8, 10, chained, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 )
 
 // Experiment E2 reproduces the only measured numbers in the paper (section
@@ -17,6 +18,10 @@ type LineLockPoint struct {
 	// MeanNS / MaxNS are per-acquisition latency (request to grant) in
 	// simulated nanoseconds.
 	MeanNS, MaxNS int64
+	// P50NS/P95NS/P99NS are latency quantiles from the observability
+	// layer's line-lock histogram (each contention level gets a private
+	// observer, so the distribution is per-level).
+	P50NS, P95NS, P99NS int64
 	// Acquisitions is the sample count.
 	Acquisitions int
 }
@@ -41,6 +46,8 @@ func RunLineLock(contentionLevels []int, rounds int, holdNS int64) (*LineLockRes
 	res := &LineLockResult{}
 	for _, c := range contentionLevels {
 		m := machine.New(machine.Config{Nodes: 32, Lines: 64})
+		o := obs.New()
+		m.SetObserver(o)
 		l := m.Alloc(1)
 		if err := m.Install(0, l, make([]byte, m.LineSize())); err != nil {
 			return nil, err
@@ -65,10 +72,14 @@ func RunLineLock(contentionLevels []int, rounds int, holdNS int64) (*LineLockRes
 				}
 			}
 		}
+		hist := o.LineLockHist().Snapshot()
 		res.Points = append(res.Points, LineLockPoint{
 			Contenders:   c,
 			MeanNS:       total / int64(n),
 			MaxNS:        max,
+			P50NS:        hist.Quantile(0.50),
+			P95NS:        hist.Quantile(0.95),
+			P99NS:        hist.Quantile(0.99),
 			Acquisitions: n,
 		})
 	}
@@ -77,7 +88,7 @@ func RunLineLock(contentionLevels []int, rounds int, holdNS int64) (*LineLockRes
 
 // Table renders the sweep with the paper's reference bands.
 func (r *LineLockResult) Table() string {
-	t := &tableWriter{header: []string{"contenders", "mean", "max", "paper band"}}
+	t := &tableWriter{header: []string{"contenders", "mean", "p50", "p95", "p99", "max", "paper band"}}
 	for _, p := range r.Points {
 		band := ""
 		switch {
@@ -86,7 +97,8 @@ func (r *LineLockResult) Table() string {
 		case p.Contenders == 32:
 			band = "< 40us (32 processors)"
 		}
-		t.addRow(fmt.Sprintf("%d", p.Contenders), us(p.MeanNS), us(p.MaxNS), band)
+		t.addRow(fmt.Sprintf("%d", p.Contenders), us(p.MeanNS),
+			us(p.P50NS), us(p.P95NS), us(p.P99NS), us(p.MaxNS), band)
 	}
 	return t.String()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/recovery"
 	"smdb/internal/workload"
 )
@@ -20,8 +21,10 @@ type RestartPoint struct {
 	// RedoApplied/RedoSkipped are restart redo decisions; UndoApplied is
 	// undo work; TagScanLines the Selective Redo cache scan size.
 	RedoApplied, RedoSkipped, UndoApplied, TagScanLines int
-	// SimTime is the simulated recovery duration.
+	// SimTime is the simulated recovery duration; Phases its breakdown into
+	// recovery phases (freeze, lock rebuild, redo scan/probe/apply, ...).
 	SimTime int64
+	Phases  []obs.PhaseSpan
 }
 
 // RestartResult is the sweep.
@@ -31,15 +34,17 @@ type RestartResult struct {
 
 // RunRestart sweeps the post-checkpoint backlog for both volatile-LBM
 // restart schemes, crashing one (mostly idle) node so that the work
-// measured is recovery overhead rather than lost data.
-func RunRestart(backlogs []int, seed int64) (*RestartResult, error) {
+// measured is recovery overhead rather than lost data. A non-nil observer
+// is attached to every run (one trace process per sweep point), so the
+// caller can export the whole sweep as one Chrome trace.
+func RunRestart(backlogs []int, seed int64, o *obs.Observer) (*RestartResult, error) {
 	if len(backlogs) == 0 {
 		backlogs = []int{32, 128, 512}
 	}
 	res := &RestartResult{}
 	for _, proto := range []recovery.Protocol{recovery.VolatileRedoAll, recovery.VolatileSelectiveRedo} {
 		for _, backlog := range backlogs {
-			p, err := runRestartOnce(proto, backlog, seed)
+			p, err := runRestartOnce(proto, backlog, seed, o)
 			if err != nil {
 				return nil, fmt.Errorf("restart %v backlog=%d: %w", proto, backlog, err)
 			}
@@ -49,11 +54,15 @@ func RunRestart(backlogs []int, seed int64) (*RestartResult, error) {
 	return res, nil
 }
 
-func runRestartOnce(proto recovery.Protocol, backlog int, seed int64) (RestartPoint, error) {
+func runRestartOnce(proto recovery.Protocol, backlog int, seed int64, o *obs.Observer) (RestartPoint, error) {
 	nodes := 4
 	db, err := seededDB(proto, nodes, 4, 32, 0)
 	if err != nil {
 		return RestartPoint{}, err
+	}
+	if o != nil {
+		o.BeginProcess(fmt.Sprintf("restart %v backlog=%d", proto, backlog))
+		db.AttachObserver(o)
 	}
 	// Build the backlog: committed updates after the seed checkpoint,
 	// spread across the surviving nodes.
@@ -84,13 +93,14 @@ func runRestartOnce(proto recovery.Protocol, backlog int, seed int64) (RestartPo
 		UndoApplied:  rep.UndoApplied,
 		TagScanLines: rep.TagScanLines,
 		SimTime:      rep.SimTime,
+		Phases:       rep.Phases,
 	}, nil
 }
 
 // Table renders the sweep.
 func (r *RestartResult) Table() string {
 	t := &tableWriter{header: []string{
-		"protocol", "backlog", "redo-applied", "redo-skipped", "undo", "tag-scan-lines", "recovery-time",
+		"protocol", "backlog", "redo-applied", "redo-skipped", "undo", "tag-scan-lines", "recovery-time", "phase-breakdown",
 	}}
 	for _, p := range r.Points {
 		t.addRow(
@@ -101,6 +111,7 @@ func (r *RestartResult) Table() string {
 			fmt.Sprintf("%d", p.UndoApplied),
 			fmt.Sprintf("%d", p.TagScanLines),
 			ms(p.SimTime),
+			obs.FormatPhases(p.Phases),
 		)
 	}
 	return t.String()

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/wal"
 )
 
@@ -93,6 +94,19 @@ type Stats struct {
 	Probes     int64 // LCB table slots examined
 }
 
+// Sub returns the per-interval delta s - prev (see machine.Stats.Sub).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Acquires:   s.Acquires - prev.Acquires,
+		Grants:     s.Grants - prev.Grants,
+		Waits:      s.Waits - prev.Waits,
+		Releases:   s.Releases - prev.Releases,
+		Promotions: s.Promotions - prev.Promotions,
+		LockLogs:   s.LockLogs - prev.LockLogs,
+		Probes:     s.Probes - prev.Probes,
+	}
+}
+
 // SMManager is the shared-memory lock manager: a linear-probed LCB table in
 // shared memory with line-lock critical sections. By default each LCB spans
 // exactly one cache line; with Chained set, LCB queues may continue into
@@ -113,6 +127,22 @@ type SMManager struct {
 	mu       sync.Mutex
 	stats    Stats
 	suppress bool
+	obs      *obs.Observer
+}
+
+// SetObserver attaches the observability layer; grants and queued waits are
+// reported as lock events timestamped with the requesting node's clock.
+func (s *SMManager) SetObserver(o *obs.Observer) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
+}
+
+// observer returns the attached observer (possibly nil).
+func (s *SMManager) observer() *obs.Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
 }
 
 // SetLogSuppressed disables (true) or re-enables (false) logical lock
@@ -587,6 +617,13 @@ func (s *SMManager) Acquire(nd machine.NodeID, txn wal.TxnID, name Name, mode Mo
 		s.bump(func(st *Stats) { st.Grants++ })
 	} else {
 		s.bump(func(st *Stats) { st.Waits++ })
+	}
+	if o := s.observer(); o != nil {
+		k := obs.KindLockAcquire
+		if !granted {
+			k = obs.KindLockWait
+		}
+		o.Instant(k, int32(nd), s.M.Clock(nd), int64(name), int64(mode))
 	}
 	return granted, nil
 }

@@ -4,6 +4,18 @@ package machine
 // software-visible residency operations (Install, Discard, Resident) used by
 // the buffer manager and the restart-recovery schemes.
 
+import (
+	"sync/atomic"
+
+	"smdb/internal/obs"
+)
+
+// charge adds simulated cost to node nd's clock. Called with m.mu held;
+// stores are atomic so lock-free clock readers see them.
+func (m *Machine) charge(nd NodeID, cost int64) {
+	atomic.AddInt64(&m.clocks[nd], cost)
+}
+
 // Read copies n bytes starting at byte off of line l into a fresh slice, on
 // behalf of node nd. If the line is valid somewhere the protocol replicates
 // it into nd's cache (downgrading an exclusive remote holder, history H_wr);
@@ -27,21 +39,23 @@ func (m *Machine) Read(nd NodeID, l LineID, off, n int) ([]byte, error) {
 	case ln.holders.has(nd):
 		// Local hit.
 		m.stats.LocalHits++
-		m.clocks[nd] += m.cfg.Cost.ReadLocal
+		m.charge(nd, m.cfg.Cost.ReadLocal)
 	default:
 		// Remote fetch; replicate into nd's cache.
 		if ln.excl != NoNode && ln.excl != nd {
 			// H_wr: the exclusive holder is downgraded to shared.
+			from := ln.excl
 			if err := m.fire(l, EventDowngrade, ln.excl, nd, nd); err != nil {
 				return nil, err
 			}
 			m.stats.Downgrades++
 			ln.excl = NoNode
+			m.traceLocked(obs.KindDowngrade, nd, int64(l), int64(from))
 		}
 		ln.holders.add(nd)
 		m.stats.RemoteFetches++
 		m.stats.Replications++
-		m.clocks[nd] += m.cfg.Cost.RemoteFetch
+		m.charge(nd, m.cfg.Cost.RemoteFetch)
 	}
 	out := make([]byte, n)
 	copy(out, ln.data[off:off+n])
@@ -85,14 +99,15 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 	case ln.excl == nd:
 		// Already exclusive locally.
 		m.stats.LocalHits++
-		m.clocks[nd] += m.cfg.Cost.WriteLocal
+		m.charge(nd, m.cfg.Cost.WriteLocal)
 	case ln.holders.sole(nd):
 		// Sole sharer: silent upgrade.
 		ln.excl = nd
 		m.stats.LocalHits++
-		m.clocks[nd] += m.cfg.Cost.WriteLocal
+		m.charge(nd, m.cfg.Cost.WriteLocal)
 	case ln.excl != NoNode:
 		// Another node holds it exclusively: the line migrates.
+		from := ln.excl
 		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
 			return err
 		}
@@ -101,7 +116,8 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 		ln.holders = 0
 		ln.holders.add(nd)
 		ln.excl = nd
-		m.clocks[nd] += m.cfg.Cost.RemoteFetch
+		m.charge(nd, m.cfg.Cost.RemoteFetch)
+		m.traceLocked(obs.KindMigrate, nd, int64(l), int64(from))
 	default:
 		// Shared in one or more caches: invalidate them all.
 		others := ln.holders
@@ -111,7 +127,8 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 				return err
 			}
 			m.stats.Invalidations += int64(others.count())
-			m.clocks[nd] += int64(others.count()) * m.cfg.Cost.InvalidatePerSharer
+			m.charge(nd, int64(others.count())*m.cfg.Cost.InvalidatePerSharer)
+			m.traceLocked(obs.KindInvalidate, nd, int64(l), int64(others.count()))
 		}
 		cost := m.cfg.Cost.WriteLocal
 		if !ln.holders.has(nd) {
@@ -123,7 +140,7 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 		ln.holders = 0
 		ln.holders.add(nd)
 		ln.excl = nd
-		m.clocks[nd] += cost
+		m.charge(nd, cost)
 	}
 	copy(ln.data[off:], data)
 	return nil
@@ -138,15 +155,15 @@ func (m *Machine) writeBroadcastLocked(nd NodeID, ln *line, l LineID, off int, d
 		ln.holders.add(nd)
 		m.stats.RemoteFetches++
 		m.stats.Replications++
-		m.clocks[nd] += m.cfg.Cost.RemoteFetch
+		m.charge(nd, m.cfg.Cost.RemoteFetch)
 	} else {
 		m.stats.LocalHits++
-		m.clocks[nd] += m.cfg.Cost.WriteLocal
+		m.charge(nd, m.cfg.Cost.WriteLocal)
 	}
 	remote := ln.holders.count() - 1
 	if remote > 0 {
 		m.stats.Broadcasts++
-		m.clocks[nd] += int64(remote) * m.cfg.Cost.BroadcastPerSharer
+		m.charge(nd, int64(remote)*m.cfg.Cost.BroadcastPerSharer)
 	}
 	// The broadcast keeps every copy current; exclusivity is not tracked.
 	ln.excl = NoNode
@@ -185,7 +202,7 @@ func (m *Machine) Install(nd NodeID, l LineID, data []byte) error {
 	ln.excl = nd
 	ln.active = false
 	m.stats.Installs++
-	m.clocks[nd] += m.cfg.Cost.WriteLocal
+	m.charge(nd, m.cfg.Cost.WriteLocal)
 	return nil
 }
 

@@ -7,6 +7,12 @@ package machine
 // consistent state reflecting the surviving caches. Software recovery — the
 // paper's actual contribution — runs on top of this.
 
+import (
+	"sync/atomic"
+
+	"smdb/internal/obs"
+)
+
 // CrashReport describes the memory damage of a crash: which lines lost their
 // only copy and were destroyed, and which survived on other nodes.
 type CrashReport struct {
@@ -80,6 +86,9 @@ func (m *Machine) Crash(nodes ...NodeID) CrashReport {
 			rep.OrphanedLines = append(rep.OrphanedLines, i)
 		}
 	}
+	for _, n := range rep.Crashed {
+		m.traceLocked(obs.KindCrash, n, int64(len(rep.LostLines)), int64(len(rep.OrphanedLines)))
+	}
 	m.cond.Broadcast()
 	return rep
 }
@@ -98,12 +107,12 @@ func (m *Machine) Restart(n NodeID) error {
 	}
 	m.alive[n] = true
 	var max int64
-	for _, c := range m.clocks {
-		if c > max {
+	for i := range m.clocks {
+		if c := atomic.LoadInt64(&m.clocks[i]); c > max {
 			max = c
 		}
 	}
-	m.clocks[n] = max
+	atomic.StoreInt64(&m.clocks[n], max)
 	return nil
 }
 

@@ -8,6 +8,12 @@ package machine
 // makes Volatile LBM nearly free (section 5.1) and that enforces the ordered
 // update logging rule (section 6).
 
+import (
+	"sync/atomic"
+
+	"smdb/internal/obs"
+)
+
 // GetLine acquires the line lock on l for node nd, blocking (the calling
 // goroutine) while another node holds it. On success the line is exclusively
 // resident in nd's cache. The simulated cost is LineLockLocal if the line was
@@ -28,7 +34,9 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 		return ErrLineLost
 	}
 	m.stats.LineLockAcquires++
-	if ln.lock.held {
+	entry := atomic.LoadInt64(&m.clocks[nd])
+	contended := ln.lock.held
+	if contended {
 		m.stats.LineLockContended++
 	}
 	ln.lock.waiters++
@@ -47,7 +55,7 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 
 	// Simulated queueing: we cannot start acquiring before the lock's
 	// simulated free time.
-	start := m.clocks[nd]
+	start := atomic.LoadInt64(&m.clocks[nd])
 	if ln.lock.freeAt > start {
 		start = ln.lock.freeAt
 	}
@@ -58,11 +66,13 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 	// Acquiring the lock also acquires the line exclusively, with the same
 	// coherency side effects as a write.
 	if ln.excl != NoNode && ln.excl != nd {
+		from := ln.excl
 		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
 			return err
 		}
 		m.stats.Migrations++
 		ln.holders = 0
+		m.traceLocked(obs.KindMigrate, nd, int64(l), int64(from))
 	} else if !ln.holders.sole(nd) {
 		others := ln.holders
 		others.remove(nd)
@@ -71,6 +81,7 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 				return err
 			}
 			m.stats.Invalidations += int64(others.count())
+			m.traceLocked(obs.KindInvalidate, nd, int64(l), int64(others.count()))
 		}
 		ln.holders = 0
 	}
@@ -78,7 +89,17 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 	ln.excl = nd
 	ln.lock.held = true
 	ln.lock.owner = nd
-	m.clocks[nd] = start + cost
+	atomic.StoreInt64(&m.clocks[nd], start+cost)
+	if m.obs != nil {
+		// Acquisition latency is the simulated interval from the caller
+		// issuing GetLine to holding the lock: queueing delay (chained
+		// through freeAt) plus the acquire cost itself.
+		lat := start + cost - entry
+		m.obs.ObserveLineLock(lat)
+		if contended {
+			m.obs.Instant(obs.KindLineLockWait, int32(nd), start+cost, int64(l), lat)
+		}
+	}
 	return nil
 }
 
@@ -115,12 +136,12 @@ func (m *Machine) ReleaseLine(nd NodeID, l LineID) error {
 	if !ln.lock.held || ln.lock.owner != nd {
 		return ErrNotLockHolder
 	}
-	m.clocks[nd] += m.cfg.Cost.LineLockRelease
+	m.charge(nd, m.cfg.Cost.LineLockRelease)
 	ln.lock.held = false
 	ln.lock.owner = NoNode
 	// The lock becomes free, in simulated time, when the releasing node's
 	// clock reaches this instant; waiters chain their start times from it.
-	ln.lock.freeAt = m.clocks[nd]
+	ln.lock.freeAt = atomic.LoadInt64(&m.clocks[nd])
 	m.cond.Broadcast()
 	return nil
 }

@@ -35,6 +35,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"smdb/internal/obs"
 )
 
 // NodeID identifies a processor/memory pair. Nodes are numbered from 0.
@@ -209,15 +212,21 @@ type PreTransitionFunc func(ev Event) (cost int64, err error)
 type Machine struct {
 	cfg Config
 
-	mu     sync.Mutex
-	cond   *sync.Cond // line-lock waiters
-	lines  []line
-	alive  []bool
-	clocks []int64 // per-node simulated nanoseconds
-	next   LineID  // bump allocator
+	mu    sync.Mutex
+	cond  *sync.Cond // line-lock waiters
+	lines []line
+	alive []bool
+	// clocks are per-node simulated nanoseconds. Writes happen under m.mu
+	// (they read-modify-write against line-lock free times), but use atomic
+	// stores so Clock and MaxClock can read lock-free: observability hooks
+	// in other layers (wal, buffer) need a node's clock while the machine
+	// lock may be held by a pre-transition callback higher in the stack.
+	clocks []int64
+	next   LineID // bump allocator
 	stats  Stats
 
 	preTransition PreTransitionFunc
+	obs           *obs.Observer
 }
 
 // New constructs a machine. It panics on an invalid configuration, since a
@@ -289,6 +298,28 @@ func (m *Machine) SetPreTransition(f PreTransitionFunc) {
 	m.preTransition = f
 }
 
+// SetObserver attaches (or, with nil, detaches) the observability layer.
+// Coherency transitions, line-lock latencies, trigger fires, and crashes are
+// reported to it. The observer must not call back into the Machine.
+func (m *Machine) SetObserver(o *obs.Observer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obs = o
+}
+
+// traceLocked records an instant event at node nd's current simulated time.
+// Called with m.mu held.
+func (m *Machine) traceLocked(k obs.Kind, nd NodeID, a, b int64) {
+	if m.obs == nil {
+		return
+	}
+	var sim int64
+	if nd >= 0 && int(nd) < len(m.clocks) {
+		sim = atomic.LoadInt64(&m.clocks[nd])
+	}
+	m.obs.Instant(k, int32(nd), sim, a, b)
+}
+
 // SetActive sets or clears the per-line "contains active data" bit
 // (section 5.2). The caller should hold the line (via line lock or
 // exclusivity); the machine does not check.
@@ -312,24 +343,22 @@ func (m *Machine) Active(l LineID) bool {
 	return m.lines[l].active
 }
 
-// Clock returns node n's simulated clock in nanoseconds.
+// Clock returns node n's simulated clock in nanoseconds. It is lock-free,
+// so it is safe to call even from code running under a pre-transition
+// callback (which holds the machine lock).
 func (m *Machine) Clock(n NodeID) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if n < 0 || int(n) >= len(m.clocks) {
 		return 0
 	}
-	return m.clocks[n]
+	return atomic.LoadInt64(&m.clocks[n])
 }
 
 // MaxClock returns the maximum simulated clock across nodes: the simulated
-// makespan of the run so far.
+// makespan of the run so far. Lock-free, like Clock.
 func (m *Machine) MaxClock() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var max int64
-	for _, c := range m.clocks {
-		if c > max {
+	for i := range m.clocks {
+		if c := atomic.LoadInt64(&m.clocks[i]); c > max {
 			max = c
 		}
 	}
@@ -346,7 +375,7 @@ func (m *Machine) AdvanceClock(n NodeID, d int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if n >= 0 && int(n) < len(m.clocks) {
-		m.clocks[n] += d
+		atomic.AddInt64(&m.clocks[n], d)
 	}
 }
 
@@ -382,9 +411,10 @@ func (m *Machine) fire(l LineID, kind EventKind, from, to, charge NodeID) error 
 	}
 	cost, err := m.preTransition(Event{Line: l, Kind: kind, From: from, To: to})
 	if charge >= 0 && int(charge) < len(m.clocks) {
-		m.clocks[charge] += cost
+		atomic.AddInt64(&m.clocks[charge], cost)
 	}
 	m.stats.TriggerFires++
+	m.traceLocked(obs.KindTriggerFire, charge, int64(l), int64(kind))
 	if err == nil {
 		ln.active = false
 	}

@@ -39,6 +39,30 @@ type Stats struct {
 	LinesLost int64
 }
 
+// Sub returns the per-interval delta s - prev: each counter minus its value
+// in an earlier snapshot. Harnesses use it to report work done inside a
+// measurement window without hand-subtracting fields.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:              s.Reads - prev.Reads,
+		Writes:             s.Writes - prev.Writes,
+		LocalHits:          s.LocalHits - prev.LocalHits,
+		RemoteFetches:      s.RemoteFetches - prev.RemoteFetches,
+		Migrations:         s.Migrations - prev.Migrations,
+		Downgrades:         s.Downgrades - prev.Downgrades,
+		Replications:       s.Replications - prev.Replications,
+		Invalidations:      s.Invalidations - prev.Invalidations,
+		Broadcasts:         s.Broadcasts - prev.Broadcasts,
+		Installs:           s.Installs - prev.Installs,
+		Discards:           s.Discards - prev.Discards,
+		LineLockAcquires:   s.LineLockAcquires - prev.LineLockAcquires,
+		LineLockContended:  s.LineLockContended - prev.LineLockContended,
+		TriggerFires:       s.TriggerFires - prev.TriggerFires,
+		Crashes:            s.Crashes - prev.Crashes,
+		LinesLost:          s.LinesLost - prev.LinesLost,
+	}
+}
+
 // Stats returns a snapshot of the machine's counters.
 func (m *Machine) Stats() Stats {
 	m.mu.Lock()

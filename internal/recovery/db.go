@@ -9,6 +9,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/lock"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -105,7 +106,10 @@ type txnState struct {
 	id      wal.TxnID
 	status  TxnStatus
 	crashed bool // its node crashed while it was active
-	locks   []heldLock
+	// beginSim is the node's simulated clock at Begin, for commit-latency
+	// observation.
+	beginSim int64
+	locks    []heldLock
 	// writes lists the updates the transaction applied (node-local; used
 	// for commit-time tag clearing and by the IFA oracle).
 	writes []writeRec
@@ -145,6 +149,29 @@ type Stats struct {
 	LCBsRebuilt, LockEntriesReleased int64
 }
 
+// Sub returns the per-interval delta s - prev (see machine.Stats.Sub).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Updates:               s.Updates - prev.Updates,
+		Inserts:               s.Inserts - prev.Inserts,
+		Deletes:               s.Deletes - prev.Deletes,
+		Commits:               s.Commits - prev.Commits,
+		Aborts:                s.Aborts - prev.Aborts,
+		CommitForces:          s.CommitForces - prev.CommitForces,
+		LBMForces:             s.LBMForces - prev.LBMForces,
+		NTAForces:             s.NTAForces - prev.NTAForces,
+		TagWrites:             s.TagWrites - prev.TagWrites,
+		TagClears:             s.TagClears - prev.TagClears,
+		UndoTagBytes:          s.UndoTagBytes - prev.UndoTagBytes,
+		RedoApplied:           s.RedoApplied - prev.RedoApplied,
+		RedoSkipped:           s.RedoSkipped - prev.RedoSkipped,
+		UndoApplied:           s.UndoApplied - prev.UndoApplied,
+		TxnsAbortedByRecovery: s.TxnsAbortedByRecovery - prev.TxnsAbortedByRecovery,
+		LCBsRebuilt:           s.LCBsRebuilt - prev.LCBsRebuilt,
+		LockEntriesReleased:   s.LockEntriesReleased - prev.LockEntriesReleased,
+	}
+}
+
 // DB is a complete shared-memory database instance: the simulated machine
 // plus every substrate, wired for one recovery protocol.
 type DB struct {
@@ -173,6 +200,13 @@ type DB struct {
 	// activeLBM tracks, for StableTriggered, the highest unforced LSN per
 	// node so the trigger knows how far to force.
 	pendingLSN []wal.LSN
+	// obs is the attached observability layer (nil when disabled; all its
+	// methods are nil-safe).
+	obs *obs.Observer
+	// crashSim records the simulated time of the first unrecovered crash,
+	// so restart recovery can report the freeze span (crash -> recovery
+	// start). Reset by Recover.
+	crashSim atomic.Int64
 }
 
 type committedImage struct {
@@ -227,6 +261,36 @@ func New(cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// AttachObserver wires the observability layer through every engine
+// substrate: the machine (coherency, line locks, crashes), each node's WAL,
+// the lock manager, the buffer manager, and the protocol layer itself
+// (transaction lifecycle, recovery phases). Call before running work;
+// passing nil detaches everywhere.
+func (db *DB) AttachObserver(o *obs.Observer) {
+	db.M.SetObserver(o)
+	for _, l := range db.Logs {
+		l := l
+		node := l.Node()
+		var fn func() int64
+		if o != nil {
+			fn = func() int64 { return db.M.Clock(node) }
+		}
+		l.SetObserver(o, fn)
+	}
+	db.Locks.SetObserver(o)
+	db.BM.SetObserver(o)
+	db.mu.Lock()
+	db.obs = o
+	db.mu.Unlock()
+}
+
+// Observer returns the attached observability layer (nil when disabled).
+func (db *DB) Observer() *obs.Observer {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.obs
+}
+
 // Stats returns a snapshot of the protocol counters.
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
@@ -264,11 +328,14 @@ func (db *DB) Begin(nd machine.NodeID) (wal.TxnID, error) {
 	if !db.M.Alive(nd) {
 		return 0, machine.ErrNodeDown
 	}
+	now := db.M.Clock(nd)
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.seqs[nd]++
 	id := wal.MakeTxnID(nd, db.seqs[nd])
-	db.txns[id] = &txnState{id: id, status: TxnActive}
+	db.txns[id] = &txnState{id: id, status: TxnActive, beginSim: now}
+	o := db.obs
+	db.mu.Unlock()
+	o.Instant(obs.KindTxnBegin, int32(nd), now, int64(id), 0)
 	return id, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"smdb/internal/heap"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/wal"
 )
 
@@ -105,8 +106,10 @@ func (db *DB) CommitGlobal(g GlobalID) error {
 	// global-abort pass below).
 	for _, t := range branches {
 		if _, forced := db.Logs[t.Node()].Force(lsns[t]); forced {
-			db.M.AdvanceClock(t.Node(), db.logForceCost())
+			cost := db.logForceCost()
+			db.M.AdvanceClock(t.Node(), cost)
 			db.bump(func(s *Stats) { s.CommitForces++ })
+			db.Observer().ObserveLogForce(cost)
 		}
 		if lsns[t] == 0 || db.Logs[t.Node()].ForcedLSN() < lsns[t] {
 			return fmt.Errorf("recovery: global commit %d interrupted by failure of branch %v: %w",
@@ -160,7 +163,14 @@ func (db *DB) finalizeCommit(t wal.TxnID) error {
 	}
 	st.status = TxnCommitted
 	db.stats.Commits++
+	o := db.obs
+	beginSim := st.beginSim
 	db.mu.Unlock()
+	if o != nil {
+		now := db.M.Clock(nd)
+		o.Instant(obs.KindTxnCommit, int32(nd), now, int64(t), 0)
+		o.ObserveCommit(now - beginSim)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/lock"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/wal"
 )
 
@@ -37,6 +38,22 @@ type RecoveryReport struct {
 	// SimTime is the simulated duration of recovery in nanoseconds
 	// (makespan increase across nodes).
 	SimTime int64
+	// Phases breaks SimTime down into the recovery phases, in execution
+	// order (plus a leading freeze span covering crash-to-recovery time when
+	// known). Durations are simulated nanoseconds.
+	Phases []obs.PhaseSpan
+}
+
+// PhaseTime returns the simulated duration spent in phase p (0 if the phase
+// did not run).
+func (r *RecoveryReport) PhaseTime(p obs.Phase) int64 {
+	var total int64
+	for _, s := range r.Phases {
+		if s.Phase == p {
+			total += s.Dur
+		}
+	}
+	return total
 }
 
 // Crash fails the given nodes: their caches are destroyed (machine), their
@@ -45,6 +62,9 @@ type RecoveryReport struct {
 // crash victims awaiting recovery.
 func (db *DB) Crash(nodes ...machine.NodeID) machine.CrashReport {
 	db.frozen.Store(true)
+	// Remember when the first crash of this failure episode happened, so
+	// Recover can report the freeze span (crash-to-recovery-start).
+	db.crashSim.CompareAndSwap(0, db.M.MaxClock())
 	rep := db.M.Crash(nodes...)
 	for _, n := range rep.Crashed {
 		db.Logs[n].Crash()
@@ -75,12 +95,23 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	coord := alive[0]
 	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: append([]machine.NodeID(nil), crashed...)}
 	startClock := db.M.MaxClock()
+	o := db.Observer()
+
+	// The freeze span covers crash-to-recovery-start: transactions that hit
+	// the failed domain stall while the system decides to recover.
+	if cs := db.crashSim.Swap(0); cs > 0 && cs <= startClock {
+		rep.Phases = append(rep.Phases, obs.PhaseSpan{Phase: obs.PhaseFreeze, Start: cs, Dur: startClock - cs})
+		o.Span(obs.KindPhase, obs.PhaseFreeze, obs.SystemNode, cs, startClock-cs)
+	}
+	phase := db.phaseTracker(rep, o)
 
 	if db.Cfg.Protocol == BaselineFA {
-		if err := db.baselineReboot(rep); err != nil {
+		if err := db.baselineReboot(rep, phase); err != nil {
 			return nil, err
 		}
+		db.crashSim.Store(0) // baselineReboot crashes the rest internally
 		rep.SimTime = db.M.MaxClock() - startClock
+		o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
 		return rep, nil
 	}
 
@@ -98,6 +129,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		return nil, err
 	}
 	rep.LCBChainsDropped = dropped + orphans
+	phase(obs.PhaseDirectoryRepair)
 	released, err := db.Locks.ReleaseCrashed(coord, crashed)
 	if err != nil {
 		return nil, err
@@ -108,22 +140,34 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		return nil, err
 	}
 	rep.LocksReplayed = replayed
+	phase(obs.PhaseLockRebuild)
 
-	// 2. Redo (section 4.1.2).
-	if db.Cfg.Protocol.SelectiveRedo() {
-		if err := db.redoPass(alive, crashed, rep, false); err != nil {
-			return nil, err
-		}
-	} else {
+	// 2. Redo (section 4.1.2), in three phases: scan the available logs for
+	// redo candidates, probe residency (reinstalling lost lines from the
+	// stable database), then apply version-checked redo.
+	if !db.Cfg.Protocol.SelectiveRedo() {
 		// Redo All, step 1: every surviving node discards its cached
 		// database lines, wiping any migrated uncommitted updates of
 		// crashed transactions (and, collaterally, everything else in
 		// memory).
 		db.flushAllCaches(alive)
-		if err := db.redoPass(alive, crashed, rep, true); err != nil {
+	}
+	cands, err := db.collectRedo(alive)
+	if err != nil {
+		return nil, err
+	}
+	phase(obs.PhaseRedoScan)
+	if err := db.probeRedo(cands); err != nil {
+		return nil, err
+	}
+	phase(obs.PhaseProbe)
+	for _, c := range cands {
+		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
+		if err := db.redoRecord(c.onto, c.rec, rid, rep); err != nil {
 			return nil, err
 		}
 	}
+	phase(obs.PhaseRedoApply)
 
 	// 3. Undo: down nodes' active transactions. Stolen or stably logged
 	// updates are undone from the stable logs; under undo tagging, updates
@@ -138,10 +182,12 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	phase(obs.PhaseUndo)
 	if db.Cfg.Protocol.UndoTagging() {
 		if err := db.undoTagScan(alive, down, rep); err != nil {
 			return nil, err
 		}
+		phase(obs.PhaseUndoTagScan)
 	}
 
 	// 4. Settle the victims. A transaction whose node crashed after its
@@ -187,6 +233,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	if _, err := db.abortOrphanedBranches(rep); err != nil {
 		return nil, err
 	}
+	phase(obs.PhaseSettle)
 	sortTxns(rep.Aborted)
 	db.bump(func(s *Stats) {
 		s.RedoApplied += int64(rep.RedoApplied)
@@ -196,7 +243,22 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		s.LockEntriesReleased += int64(rep.LockEntriesReleased)
 	})
 	rep.SimTime = db.M.MaxClock() - startClock
+	o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
 	return rep, nil
+}
+
+// phaseTracker returns a closure that, on each call, closes the current
+// recovery phase: the span from the previous call (or tracker creation) to
+// now is appended to the report and mirrored to the observer. Phase time is
+// measured on the simulated clock (MaxClock deltas), matching SimTime.
+func (db *DB) phaseTracker(rep *RecoveryReport, o *obs.Observer) func(obs.Phase) {
+	start := db.M.MaxClock()
+	return func(p obs.Phase) {
+		now := db.M.MaxClock()
+		rep.Phases = append(rep.Phases, obs.PhaseSpan{Phase: p, Start: start, Dur: now - start})
+		o.Span(obs.KindPhase, p, obs.SystemNode, start, now-start)
+		start = now
+	}
 }
 
 // downNodes returns every node currently down.
@@ -270,33 +332,74 @@ func (db *DB) view(n machine.NodeID, isCrashed bool) (*logView, error) {
 	return v, nil
 }
 
-// redoPass replays redo information from every node's available log.
-// Surviving nodes replay their own full logs from their last checkpoints
-// (everything: committed, active, and compensation records — surviving
-// active transactions' updates are preserved under IFA). Down nodes —
-// whether they crashed just now or in an earlier failure — contribute their
-// stable prefixes only, filtered to logically committed effects (stable
-// commits, completed structural changes, compensations); their uncommitted
-// updates are not repeated, as they are about to be undone anyway. Version
-// comparison makes redo idempotent and order-independent across logs.
-func (db *DB) redoPass(alive, crashed []machine.NodeID, rep *RecoveryReport, flushed bool) error {
+// redoCand is one redo candidate produced by the scan phase: a log record
+// whose effect may be missing, plus the node that will replay it.
+type redoCand struct {
+	onto machine.NodeID
+	rec  wal.Record
+}
+
+// collectRedo is the redo scan phase: it gathers redo candidates from every
+// node's available log. Surviving nodes replay their own full logs from
+// their last checkpoints (everything: committed, active, and compensation
+// records — surviving active transactions' updates are preserved under IFA).
+// Down nodes — whether they crashed just now or in an earlier failure —
+// contribute their stable prefixes only, filtered to logically committed
+// effects (stable commits, completed structural changes, compensations);
+// their uncommitted updates are not repeated, as they are about to be undone
+// anyway. Version comparison in the apply phase makes redo idempotent and
+// order-independent across logs.
+func (db *DB) collectRedo(alive []machine.NodeID) ([]redoCand, error) {
 	coord := alive[0]
+	var cands []redoCand
 	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
 		isDown := !db.M.Alive(n)
 		v, err := db.view(n, isDown)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		onto := n
 		if isDown {
 			onto = coord
 		}
-		if err := db.redoLog(onto, v, isDown, rep); err != nil {
-			return err
+		for _, rec := range v.fromCkpt {
+			if rec.Type != wal.TypeUpdate && rec.Type != wal.TypeCLR {
+				continue
+			}
+			if isDown {
+				switch {
+				case rec.Type == wal.TypeCLR:
+				case rec.NTA != 0 && v.ntaDone[rec.NTA]:
+				case v.committed[rec.Txn]:
+				default:
+					continue
+				}
+			}
+			cands = append(cands, redoCand{onto: onto, rec: rec})
 		}
 	}
-	_ = flushed
-	_ = crashed
+	return cands, nil
+}
+
+// probeRedo is the residency probe phase (the "cache miss with I/O disabled"
+// test of Selective Redo): each candidate's lines are checked for survival
+// in some cache; pages with lost lines are reinstalled from the stable
+// database up front, so the apply phase mostly hits warm lines. The apply
+// path re-checks residency, so the probe is an acceleration, not a
+// correctness requirement.
+func (db *DB) probeRedo(cands []redoCand) error {
+	for _, c := range cands {
+		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
+		line, _, err := db.Store.LineOf(rid)
+		if err != nil {
+			return err
+		}
+		if !db.M.Resident(line) || !db.M.Resident(db.Store.HeaderLine(rid.Page)) {
+			if err := db.BM.Fetch(c.onto, rid.Page); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -652,7 +755,7 @@ func (db *DB) replaySurvivorLocks(alive []machine.NodeID) (int, error) {
 // transaction control blocks, the whole lock space — is lost; recovery
 // replays committed work from the stable logs and aborts every transaction
 // that was active anywhere.
-func (db *DB) baselineReboot(rep *RecoveryReport) error {
+func (db *DB) baselineReboot(rep *RecoveryReport, phase func(obs.Phase)) error {
 	// The rest of the machine goes down too.
 	rest := db.M.AliveNodes()
 	db.Crash(rest...)
@@ -670,6 +773,7 @@ func (db *DB) baselineReboot(rep *RecoveryReport) error {
 	if _, err := db.Locks.ReleaseCrashed(coord, db.M.AliveNodes()); err != nil {
 		return err
 	}
+	phase(obs.PhaseDirectoryRepair)
 	// Redo committed effects from every node's stable log.
 	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
 		v, err := db.view(n, true) // stable prefix only: everything volatile died
@@ -680,6 +784,7 @@ func (db *DB) baselineReboot(rep *RecoveryReport) error {
 			return err
 		}
 	}
+	phase(obs.PhaseRedoApply)
 	// Undo stolen uncommitted updates from the stable logs.
 	all := make([]machine.NodeID, db.M.Nodes())
 	for i := range all {
@@ -688,6 +793,7 @@ func (db *DB) baselineReboot(rep *RecoveryReport) error {
 	if _, err := db.undoCrashed(coord, all, rep); err != nil {
 		return err
 	}
+	phase(obs.PhaseUndo)
 	// Every active transaction aborts: failure atomicity without isolation.
 	db.mu.Lock()
 	for _, st := range db.txns {
@@ -700,6 +806,7 @@ func (db *DB) baselineReboot(rep *RecoveryReport) error {
 		}
 	}
 	db.mu.Unlock()
+	phase(obs.PhaseSettle)
 	sortTxns(rep.Aborted)
 	db.bump(func(s *Stats) {
 		s.RedoApplied += int64(rep.RedoApplied)

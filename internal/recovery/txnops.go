@@ -6,6 +6,7 @@ import (
 
 	"smdb/internal/heap"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/wal"
 )
 
@@ -28,8 +29,10 @@ func (db *DB) Commit(nd machine.NodeID, t wal.TxnID) error {
 	db.flushDeferred(nd, st)
 	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeCommit, Txn: t})
 	if _, forced := db.Logs[nd].Force(lsn); forced {
-		db.M.AdvanceClock(nd, db.logForceCost())
+		cost := db.logForceCost()
+		db.M.AdvanceClock(nd, cost)
 		db.bump(func(s *Stats) { s.CommitForces++ })
+		db.Observer().ObserveLogForce(cost)
 	}
 	// The commit is acknowledged only if its record really reached stable
 	// store — the node may have crashed out from under this goroutine, in
@@ -124,7 +127,9 @@ func (db *DB) Abort(nd machine.NodeID, t wal.TxnID) error {
 	db.mu.Lock()
 	st.status = TxnAborted
 	db.stats.Aborts++
+	o := db.obs
 	db.mu.Unlock()
+	o.Instant(obs.KindTxnAbort, int32(nd), db.M.Clock(nd), int64(t), 0)
 	return nil
 }
 
@@ -208,8 +213,10 @@ func (db *DB) EndNTA(nd machine.NodeID, t wal.TxnID, nta uint64) error {
 	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeNTAEnd, Txn: t, NTA: nta})
 	if db.Cfg.Protocol.EarlyCommitsStructural() {
 		if _, forced := db.Logs[nd].Force(lsn); forced {
-			db.M.AdvanceClock(nd, db.logForceCost())
+			cost := db.logForceCost()
+			db.M.AdvanceClock(nd, cost)
 			db.bump(func(s *Stats) { s.NTAForces++ })
+			db.Observer().ObserveLogForce(cost)
 		}
 	}
 	return nil
@@ -229,7 +236,9 @@ func (db *DB) Checkpoint(nd machine.NodeID) error {
 	for _, n := range db.M.AliveNodes() {
 		lsn := db.Logs[n].Append(wal.Record{Type: wal.TypeCheckpoint})
 		if _, forced := db.Logs[n].Force(lsn); forced {
-			db.M.AdvanceClock(n, db.logForceCost())
+			cost := db.logForceCost()
+			db.M.AdvanceClock(n, cost)
+			db.Observer().ObserveLogForce(cost)
 		}
 		low := lsn
 		db.mu.Lock()

@@ -188,8 +188,10 @@ func (db *DB) applyChange(nd machine.NodeID, t wal.TxnID, rid heap.RID, newFlags
 		// Stable LBM, enforced within the critical section: both undo and
 		// redo information are stable before the line can move.
 		if _, forced := db.Logs[nd].Force(lsn); forced {
-			db.M.AdvanceClock(nd, db.logForceCost())
+			cost := db.logForceCost()
+			db.M.AdvanceClock(nd, cost)
 			db.bump(func(s *Stats) { s.LBMForces++ })
+			db.Observer().ObserveLogForce(cost)
 		}
 	case StableTriggered:
 		// Stable LBM via the section 5.2 extension: mark the line active
@@ -236,7 +238,11 @@ func (db *DB) lbmTrigger(ev machine.Event) (int64, error) {
 	}
 	if _, forced := db.Logs[ev.From].Force(upto); forced {
 		db.bump(func(s *Stats) { s.LBMForces++ })
-		return db.logForceCost(), nil
+		cost := db.logForceCost()
+		// Safe with the machine lock held: the observer takes only its own
+		// locks and never calls back into the machine.
+		db.Observer().ObserveLogForce(cost)
+		return cost, nil
 	}
 	return 0, nil
 }

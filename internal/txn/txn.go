@@ -19,6 +19,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/lock"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/recovery"
 	"smdb/internal/wal"
 )
@@ -115,6 +116,8 @@ func (t *Txn) acquire(name lock.Name, mode lock.Mode) error {
 		if err := locks.CancelWait(t.node, t.id, name); err != nil {
 			return err
 		}
+		t.mgr.DB.Observer().Instant(obs.KindDeadlock, int32(t.node),
+			t.mgr.DB.M.Clock(t.node), int64(t.id), int64(name))
 		return ErrDeadlock
 	}
 	return ErrBlocked

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/storage"
 )
 
@@ -36,6 +37,13 @@ type Log struct {
 	// firstByTxn records each transaction's earliest LSN, the input to the
 	// truncation low-water mark.
 	firstByTxn map[TxnID]LSN
+
+	// obs receives append/force events; simNow supplies the owning node's
+	// simulated clock. simNow must be lock-free: Force can run inside a
+	// machine pre-transition callback (triggered Stable LBM), where the
+	// machine lock is already held.
+	obs    *obs.Observer
+	simNow func() int64
 }
 
 // NewLog creates a log for node n backed by stable device dev. If dev
@@ -67,6 +75,24 @@ func NewLog(n machine.NodeID, dev *storage.LogDevice) (*Log, error) {
 // Node returns the owning node.
 func (l *Log) Node() machine.NodeID { return l.node }
 
+// SetObserver attaches the observability layer. simNow supplies the owning
+// node's simulated clock for event timestamps and must be safe to call
+// without any engine locks (machine.Clock qualifies).
+func (l *Log) SetObserver(o *obs.Observer, simNow func() int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs = o
+	l.simNow = simNow
+}
+
+// now returns the owning node's simulated clock (0 when unwired).
+func (l *Log) now() int64 {
+	if l.simNow == nil {
+		return 0
+	}
+	return l.simNow()
+}
+
 // Device returns the stable log device backing this log (for force-count
 // accounting in experiments).
 func (l *Log) Device() *storage.LogDevice { return l.dev }
@@ -93,6 +119,9 @@ func (l *Log) Append(r Record) LSN {
 		l.lastCkpt = r.LSN
 	}
 	l.recs = append(l.recs, r)
+	if l.obs != nil {
+		l.obs.Instant(obs.KindWALAppend, int32(l.node), l.now(), int64(r.LSN), int64(r.Type))
+	}
 	return r.LSN
 }
 
@@ -137,6 +166,10 @@ func (l *Log) Force(upto LSN) (records int, forced bool) {
 	l.dev.Append(buf)
 	records = uptoIdx - l.forced
 	l.forced = uptoIdx
+	if l.obs != nil {
+		l.obs.Instant(obs.KindWALForce, int32(l.node), l.now(),
+			int64(records), int64(l.first)+int64(l.forced)-1)
+	}
 	return records, true
 }
 

@@ -30,6 +30,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/lock"
 	"smdb/internal/machine"
+	"smdb/internal/obs"
 	"smdb/internal/recovery"
 	"smdb/internal/storage"
 	"smdb/internal/txn"
@@ -136,6 +137,14 @@ type Options struct {
 	NVRAMLog bool
 	// DirtyReads permits lock-free reads (browse isolation).
 	DirtyReads bool
+	// Observer, when non-nil, attaches the observability layer: every
+	// coherency event, log append/force, lock decision, transaction
+	// boundary, crash, and recovery phase is traced into per-node ring
+	// buffers, and line-lock / commit / log-force latencies feed
+	// histograms. A nil Observer (the default) costs one pointer test per
+	// hook. See package internal/obs (obs.New, WriteChromeTrace,
+	// WritePrometheus).
+	Observer *obs.Observer
 }
 
 // DB is an open shared-memory database.
@@ -183,6 +192,9 @@ func Open(opts Options) (*DB, error) {
 	eng, err := recovery.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Observer != nil {
+		eng.AttachObserver(opts.Observer)
 	}
 	db := &DB{Engine: eng, mgr: txn.NewManager(eng)}
 	if opts.IndexPages > 0 {
@@ -253,6 +265,19 @@ type Stats struct {
 	SimTime int64
 }
 
+// Sub returns the per-interval delta s - prev, layer by layer. Taking a
+// snapshot before and after a workload phase and subtracting isolates that
+// phase's activity from everything that ran before it.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Machine:  s.Machine.Sub(prev.Machine),
+		Buffer:   s.Buffer.Sub(prev.Buffer),
+		Locks:    s.Locks.Sub(prev.Locks),
+		Protocol: s.Protocol.Sub(prev.Protocol),
+		SimTime:  s.SimTime - prev.SimTime,
+	}
+}
+
 // Stats returns a snapshot of all counters.
 func (db *DB) Stats() Stats {
 	return Stats{
@@ -263,3 +288,7 @@ func (db *DB) Stats() Stats {
 		SimTime:  db.Engine.M.MaxClock(),
 	}
 }
+
+// Observer returns the attached observability layer (nil if none was
+// configured).
+func (db *DB) Observer() *obs.Observer { return db.Engine.Observer() }
