@@ -198,6 +198,10 @@ func main() {
 		tracer = obs.New()
 	}
 
+	// Every experiment's schedule derives from this seed; print it so any
+	// run — especially a failing one in CI — is reproducible verbatim.
+	fmt.Printf("seed: %d (rerun with -seed %d to reproduce)\n", *seed, *seed)
+
 	ran := 0
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {

@@ -88,7 +88,8 @@ func main() {
 	}
 	fmt.Printf("machine: %d nodes, %s coherency, %d records per %dB line\n",
 		*nodes, coh, *recsPerLine, db.M.LineSize())
-	fmt.Printf("protocol: %s (IFA: %v)\n\n", proto, proto.IFA())
+	fmt.Printf("protocol: %s (IFA: %v)\n", proto, proto.IFA())
+	fmt.Printf("seed: %d (rerun with -seed %d to reproduce)\n\n", *seed, *seed)
 
 	if err := workload.Seed(db, 0); err != nil {
 		fatal(err)

@@ -16,6 +16,7 @@
 package buffer
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -37,6 +38,9 @@ type Stats struct {
 	// WALForces is log forces performed to satisfy the WAL rule before a
 	// flush.
 	WALForces int64
+	// IORetries is transient disk errors retried (and outlasted) by page
+	// reads and writes.
+	IORetries int64
 }
 
 // Sub returns the per-interval delta s - prev (see machine.Stats.Sub).
@@ -48,6 +52,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Flushes:     s.Flushes - prev.Flushes,
 		Steals:      s.Steals - prev.Steals,
 		WALForces:   s.WALForces - prev.WALForces,
+		IORetries:   s.IORetries - prev.IORetries,
 	}
 }
 
@@ -61,6 +66,9 @@ type Manager struct {
 	// NVRAMLog selects the NVRAM log-force cost instead of rotational
 	// disk (section 7's discussion of making stable logging cheap).
 	NVRAMLog bool
+	// Retry bounds transient-I/O-error retries on page reads and writes;
+	// the zero value means storage.DefaultRetry.
+	Retry storage.RetryPolicy
 
 	mu       sync.Mutex
 	dirty    map[storage.PageID]bool
@@ -123,7 +131,7 @@ func (b *Manager) Fetch(nd machine.NodeID, p storage.PageID) error {
 		b.mu.Unlock()
 		return b.Store.FormatPage(nd, p)
 	}
-	img, err := b.Disk.ReadPage(p)
+	img, err := b.readPage(nd, p)
 	if err != nil {
 		return err
 	}
@@ -223,7 +231,7 @@ func (b *Manager) FlushPage(nd machine.NodeID, p storage.PageID) error {
 	// update's undo record stable, which is what recovery uses for
 	// on-disk uncommitted data (tags only ever describe cached lines).
 	heap.StripTags(b.Store.Layout, img)
-	if err := b.Disk.WritePage(p, img); err != nil {
+	if err := b.writePage(nd, p, img); err != nil {
 		return err
 	}
 	b.Store.M.AdvanceClock(nd, b.Store.M.Config().Cost.DiskWrite)
@@ -244,6 +252,56 @@ func (b *Manager) FlushPage(nd machine.NodeID, p storage.PageID) error {
 		o.Instant(obs.KindPageFlush, int32(nd), b.Store.M.Clock(nd), int64(p), stole)
 	}
 	return nil
+}
+
+// retryPolicy returns the configured retry policy (DefaultRetry when unset).
+func (b *Manager) retryPolicy() storage.RetryPolicy {
+	if b.Retry.MaxAttempts > 0 {
+		return b.Retry
+	}
+	return storage.DefaultRetry
+}
+
+// noteRetry charges simulated backoff to nd and counts one retried attempt.
+func (b *Manager) noteRetry(nd machine.NodeID, p storage.PageID, attempt int, backoff int64) {
+	b.Store.M.AdvanceClock(nd, backoff)
+	b.mu.Lock()
+	b.stats.IORetries++
+	b.mu.Unlock()
+	if o := b.observer(); o != nil {
+		o.Instant(obs.KindIORetry, int32(nd), b.Store.M.Clock(nd), int64(p), int64(attempt))
+	}
+}
+
+// readPage reads page p from the stable database, retrying transient errors
+// under the retry policy with exponential simulated backoff.
+func (b *Manager) readPage(nd machine.NodeID, p storage.PageID) ([]byte, error) {
+	pol := b.retryPolicy()
+	for attempt := 1; ; attempt++ {
+		img, err := b.Disk.ReadPage(p)
+		if err == nil {
+			return img, nil
+		}
+		if !errors.Is(err, storage.ErrTransient) || attempt >= pol.MaxAttempts {
+			return nil, err
+		}
+		b.noteRetry(nd, p, attempt, pol.Backoff(attempt))
+	}
+}
+
+// writePage writes page p to the stable database with the same retry policy.
+func (b *Manager) writePage(nd machine.NodeID, p storage.PageID, img []byte) error {
+	pol := b.retryPolicy()
+	for attempt := 1; ; attempt++ {
+		err := b.Disk.WritePage(p, img)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, storage.ErrTransient) || attempt >= pol.MaxAttempts {
+			return err
+		}
+		b.noteRetry(nd, p, attempt, pol.Backoff(attempt))
+	}
 }
 
 // pageHasTag reports whether any slot in the page image carries an undo tag

@@ -35,6 +35,7 @@ func (m *Machine) Read(nd NodeID, l LineID, off, n int) ([]byte, error) {
 	if !ln.valid {
 		return nil, ErrLineLost
 	}
+	var fev *Event
 	switch {
 	case ln.holders.has(nd):
 		// Local hit.
@@ -51,11 +52,21 @@ func (m *Machine) Read(nd NodeID, l LineID, off, n int) ([]byte, error) {
 			m.stats.Downgrades++
 			ln.excl = NoNode
 			m.traceLocked(obs.KindDowngrade, nd, int64(l), int64(from))
+			fev = &Event{Line: l, Kind: EventDowngrade, From: from, To: nd}
 		}
 		ln.holders.add(nd)
 		m.stats.RemoteFetches++
 		m.stats.Replications++
 		m.charge(nd, m.cfg.Cost.RemoteFetch)
+	}
+	if fev != nil {
+		// Injected fault: the downgraded holder can die at exactly this
+		// instant, after its uncommitted data replicated to nd's failure
+		// domain (fired once nd holds a copy, so the line itself survives
+		// as the hardware guarantees).
+		if err := m.faultTransition(*fev, nd); err != nil {
+			return nil, err
+		}
 	}
 	out := make([]byte, n)
 	copy(out, ln.data[off:off+n])
@@ -95,6 +106,7 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 	if m.cfg.Coherency == WriteBroadcast {
 		return m.writeBroadcastLocked(nd, ln, l, off, data)
 	}
+	var fev *Event
 	switch {
 	case ln.excl == nd:
 		// Already exclusive locally.
@@ -118,6 +130,7 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 		ln.excl = nd
 		m.charge(nd, m.cfg.Cost.RemoteFetch)
 		m.traceLocked(obs.KindMigrate, nd, int64(l), int64(from))
+		fev = &Event{Line: l, Kind: EventMigrate, From: from, To: nd}
 	default:
 		// Shared in one or more caches: invalidate them all.
 		others := ln.holders
@@ -129,6 +142,7 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 			m.stats.Invalidations += int64(others.count())
 			m.charge(nd, int64(others.count())*m.cfg.Cost.InvalidatePerSharer)
 			m.traceLocked(obs.KindInvalidate, nd, int64(l), int64(others.count()))
+			fev = &Event{Line: l, Kind: EventInvalidate, From: others.lowest(), To: nd}
 		}
 		cost := m.cfg.Cost.WriteLocal
 		if !ln.holders.has(nd) {
@@ -141,6 +155,15 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 		ln.holders.add(nd)
 		ln.excl = nd
 		m.charge(nd, cost)
+	}
+	if fev != nil {
+		// Injected fault: a node that just lost this line can die at
+		// exactly this instant (H_ww1/H_ww2 — fired once the transfer is
+		// complete, so nd's fresh copy keeps the line alive). If nd itself
+		// was taken down, the write is lost with it.
+		if err := m.faultTransition(*fev, nd); err != nil {
+			return err
+		}
 	}
 	copy(ln.data[off:], data)
 	return nil

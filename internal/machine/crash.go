@@ -34,6 +34,12 @@ type CrashReport struct {
 func (m *Machine) Crash(nodes ...NodeID) CrashReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.crashLocked(nodes)
+}
+
+// crashLocked is Crash with m.mu held, so an injected transition fault can
+// crash a node from inside a coherency operation.
+func (m *Machine) crashLocked(nodes []NodeID) CrashReport {
 	var rep CrashReport
 	var down bitset
 	for _, n := range nodes {
@@ -46,6 +52,10 @@ func (m *Machine) Crash(nodes ...NodeID) CrashReport {
 		rep.Crashed = append(rep.Crashed, n)
 	}
 	if down.empty() {
+		// Even an idempotent re-crash must wake line-lock waiters: a waiter
+		// may be blocked on a lock whose owner died in the *first* crash of
+		// this node, and the wake-up is how it learns to re-check liveness.
+		m.cond.Broadcast()
 		return rep
 	}
 	for i := LineID(0); i < m.next; i++ {
@@ -88,6 +98,9 @@ func (m *Machine) Crash(nodes ...NodeID) CrashReport {
 	}
 	for _, n := range rep.Crashed {
 		m.traceLocked(obs.KindCrash, n, int64(len(rep.LostLines)), int64(len(rep.OrphanedLines)))
+	}
+	if m.crashNotify != nil {
+		m.crashNotify(rep)
 	}
 	m.cond.Broadcast()
 	return rep

@@ -65,6 +65,7 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 	}
 	// Acquiring the lock also acquires the line exclusively, with the same
 	// coherency side effects as a write.
+	var fev *Event
 	if ln.excl != NoNode && ln.excl != nd {
 		from := ln.excl
 		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
@@ -73,6 +74,7 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 		m.stats.Migrations++
 		ln.holders = 0
 		m.traceLocked(obs.KindMigrate, nd, int64(l), int64(from))
+		fev = &Event{Line: l, Kind: EventMigrate, From: from, To: nd}
 	} else if !ln.holders.sole(nd) {
 		others := ln.holders
 		others.remove(nd)
@@ -82,11 +84,21 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 			}
 			m.stats.Invalidations += int64(others.count())
 			m.traceLocked(obs.KindInvalidate, nd, int64(l), int64(others.count()))
+			fev = &Event{Line: l, Kind: EventInvalidate, From: others.lowest(), To: nd}
 		}
 		ln.holders = 0
 	}
 	ln.holders.add(nd)
 	ln.excl = nd
+	if fev != nil {
+		// Injected fault: the previous holder can die at the instant the
+		// line-locked acquisition migrates the line into nd's cache (fired
+		// after the transfer, before nd records lock ownership; if nd
+		// itself died, it must not end up owning the lock).
+		if err := m.faultTransition(*fev, nd); err != nil {
+			return err
+		}
+	}
 	ln.lock.held = true
 	ln.lock.owner = nd
 	atomic.StoreInt64(&m.clocks[nd], start+cost)

@@ -207,6 +207,14 @@ type Event struct {
 // transition. The callback must not call back into the Machine.
 type PreTransitionFunc func(ev Event) (cost int64, err error)
 
+// TransitionFaultFunc is the fault-injection hook: it is invoked, with the
+// machine lock held, immediately *after* every coherency transition (on any
+// line, active or not) and returns the nodes to crash at exactly that
+// instant — the hazard windows Logging-Before-Migration exists to cover.
+// alive is the current live-node count, so the injector can respect a
+// survivor floor. The hook must not call back into the Machine.
+type TransitionFaultFunc func(ev Event, alive int) []NodeID
+
 // Machine is a simulated cache-coherent shared-memory multiprocessor.
 // All methods are safe for concurrent use by multiple goroutines.
 type Machine struct {
@@ -225,8 +233,17 @@ type Machine struct {
 	next   LineID // bump allocator
 	stats  Stats
 
-	preTransition PreTransitionFunc
-	obs           *obs.Observer
+	preTransition   PreTransitionFunc
+	transitionFault TransitionFaultFunc
+	// crashNotify is invoked (with the machine lock held) at the end of every
+	// Crash that actually took nodes down, so the database layer can destroy
+	// the dependent per-node state (volatile log tails, buffer entries, txn
+	// status) atomically with the hardware crash — required when a crash is
+	// injected mid-operation by a transition fault, where no caller is in a
+	// position to do it afterwards. The callback must not call back into the
+	// Machine except through lock-free methods (Clock, MaxClock).
+	crashNotify func(CrashReport)
+	obs         *obs.Observer
 }
 
 // New constructs a machine. It panics on an invalid configuration, since a
@@ -296,6 +313,50 @@ func (m *Machine) SetPreTransition(f PreTransitionFunc) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.preTransition = f
+}
+
+// SetTransitionFault installs the fault-injection hook consulted after every
+// coherency transition. Passing nil removes it.
+func (m *Machine) SetTransitionFault(f TransitionFaultFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.transitionFault = f
+}
+
+// SetCrashNotify installs the crash callback invoked (with the machine lock
+// held) whenever nodes actually go down. Passing nil removes it.
+func (m *Machine) SetCrashNotify(f func(CrashReport)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashNotify = f
+}
+
+// faultTransition consults the injected transition-fault hook after a
+// coherency transition and crashes the returned victims at exactly that
+// instant. Called with m.mu held. It returns ErrNodeDown if the initiating
+// node nd itself was taken down.
+func (m *Machine) faultTransition(ev Event, nd NodeID) error {
+	if m.transitionFault == nil {
+		return nil
+	}
+	alive := 0
+	for _, a := range m.alive {
+		if a {
+			alive++
+		}
+	}
+	victims := m.transitionFault(ev, alive)
+	if len(victims) == 0 {
+		return nil
+	}
+	for _, v := range victims {
+		m.traceLocked(obs.KindFault, v, int64(ev.Line), int64(ev.Kind))
+	}
+	m.crashLocked(victims)
+	if !m.aliveLocked(nd) {
+		return ErrNodeDown
+	}
+	return nil
 }
 
 // SetObserver attaches (or, with nil, detaches) the observability layer.

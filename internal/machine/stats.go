@@ -44,22 +44,22 @@ type Stats struct {
 // measurement window without hand-subtracting fields.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Reads:              s.Reads - prev.Reads,
-		Writes:             s.Writes - prev.Writes,
-		LocalHits:          s.LocalHits - prev.LocalHits,
-		RemoteFetches:      s.RemoteFetches - prev.RemoteFetches,
-		Migrations:         s.Migrations - prev.Migrations,
-		Downgrades:         s.Downgrades - prev.Downgrades,
-		Replications:       s.Replications - prev.Replications,
-		Invalidations:      s.Invalidations - prev.Invalidations,
-		Broadcasts:         s.Broadcasts - prev.Broadcasts,
-		Installs:           s.Installs - prev.Installs,
-		Discards:           s.Discards - prev.Discards,
-		LineLockAcquires:   s.LineLockAcquires - prev.LineLockAcquires,
-		LineLockContended:  s.LineLockContended - prev.LineLockContended,
-		TriggerFires:       s.TriggerFires - prev.TriggerFires,
-		Crashes:            s.Crashes - prev.Crashes,
-		LinesLost:          s.LinesLost - prev.LinesLost,
+		Reads:             s.Reads - prev.Reads,
+		Writes:            s.Writes - prev.Writes,
+		LocalHits:         s.LocalHits - prev.LocalHits,
+		RemoteFetches:     s.RemoteFetches - prev.RemoteFetches,
+		Migrations:        s.Migrations - prev.Migrations,
+		Downgrades:        s.Downgrades - prev.Downgrades,
+		Replications:      s.Replications - prev.Replications,
+		Invalidations:     s.Invalidations - prev.Invalidations,
+		Broadcasts:        s.Broadcasts - prev.Broadcasts,
+		Installs:          s.Installs - prev.Installs,
+		Discards:          s.Discards - prev.Discards,
+		LineLockAcquires:  s.LineLockAcquires - prev.LineLockAcquires,
+		LineLockContended: s.LineLockContended - prev.LineLockContended,
+		TriggerFires:      s.TriggerFires - prev.TriggerFires,
+		Crashes:           s.Crashes - prev.Crashes,
+		LinesLost:         s.LinesLost - prev.LinesLost,
 	}
 }
 

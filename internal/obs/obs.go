@@ -69,6 +69,12 @@ const (
 	// KindRecovery is the whole restart-recovery run, the parent span
 	// enclosing the phase spans.
 	KindRecovery
+	// KindFault is an injected fault firing (internal/fault via the hooked
+	// layer; A = fault-site discriminator, B = victim node or 0).
+	KindFault
+	// KindIORetry is a transient storage error retried by a caller
+	// (A = attempt number, B = backoff charged in simulated ns).
+	KindIORetry
 
 	numKinds
 )
@@ -77,7 +83,7 @@ var kindNames = [numKinds]string{
 	"migrate", "downgrade", "invalidate", "trigger-fire", "line-lock-wait",
 	"wal-append", "wal-force", "lock-acquire", "lock-wait", "deadlock",
 	"txn-begin", "txn-commit", "txn-abort", "page-fetch", "page-flush",
-	"crash", "phase", "recovery",
+	"crash", "phase", "recovery", "fault", "io-retry",
 }
 
 func (k Kind) String() string {

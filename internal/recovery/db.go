@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"smdb/internal/buffer"
+	"smdb/internal/fault"
 	"smdb/internal/heap"
 	"smdb/internal/lock"
 	"smdb/internal/machine"
@@ -203,6 +204,9 @@ type DB struct {
 	// obs is the attached observability layer (nil when disabled; all its
 	// methods are nil-safe).
 	obs *obs.Observer
+	// fault is the attached chaos injector (nil when chaos is off); see
+	// AttachFaults.
+	fault *fault.Injector
 	// crashSim records the simulated time of the first unrecovered crash,
 	// so restart recovery can report the freeze span (crash -> recovery
 	// start). Reset by Recover.
@@ -258,6 +262,9 @@ func New(cfg Config) (*DB, error) {
 	if cfg.Protocol == StableTriggered {
 		m.SetPreTransition(db.lbmTrigger)
 	}
+	// Every crash — requested or injected mid-transition — destroys the
+	// DB-layer state of the dead nodes atomically with the machine crash.
+	m.SetCrashNotify(db.noteCrash)
 	return db, nil
 }
 

@@ -105,11 +105,8 @@ func (db *DB) CommitGlobal(g GlobalID) error {
 	// stable commit record but an aborted sibling is repaired by the
 	// global-abort pass below).
 	for _, t := range branches {
-		if _, forced := db.Logs[t.Node()].Force(lsns[t]); forced {
-			cost := db.logForceCost()
-			db.M.AdvanceClock(t.Node(), cost)
-			db.bump(func(s *Stats) { s.CommitForces++ })
-			db.Observer().ObserveLogForce(cost)
+		if err := db.forceThrough(t.Node(), lsns[t], func(s *Stats) { s.CommitForces++ }); err != nil {
+			return fmt.Errorf("recovery: global commit %d: %w", g, err)
 		}
 		if lsns[t] == 0 || db.Logs[t.Node()].ForcedLSN() < lsns[t] {
 			return fmt.Errorf("recovery: global commit %d interrupted by failure of branch %v: %w",

@@ -35,6 +35,11 @@ type RecoveryReport struct {
 	// recovery work; LCBChainsDropped counts chained LCBs discarded whole
 	// (broken chains plus orphaned fragments) for rebuild from the logs.
 	LCBsReinstalled, LockEntriesReleased, LocksReplayed, LCBChainsDropped int
+	// Attempts counts recovery entries: 1 for an undisturbed run, more when
+	// a crash during recovery forced a restartable re-entry.
+	// CoordinatorFailovers counts the subset of re-entries that elected a
+	// new coordinator because the previous one died mid-recovery.
+	Attempts, CoordinatorFailovers int
 	// SimTime is the simulated duration of recovery in nanoseconds
 	// (makespan increase across nodes).
 	SimTime int64
@@ -59,41 +64,31 @@ func (r *RecoveryReport) PhaseTime(p obs.Phase) int64 {
 // Crash fails the given nodes: their caches are destroyed (machine), their
 // volatile log tails are lost (wal), and their entries leave the shared
 // WAL-enforcement table (buffer). Active transactions on those nodes become
-// crash victims awaiting recovery.
+// crash victims awaiting recovery. The DB-layer destruction happens inside
+// the machine's crash-notify callback (noteCrash), so injected crashes fired
+// mid-coherency-transition get exactly the same treatment.
 func (db *DB) Crash(nodes ...machine.NodeID) machine.CrashReport {
-	db.frozen.Store(true)
-	// Remember when the first crash of this failure episode happened, so
-	// Recover can report the freeze span (crash-to-recovery-start).
-	db.crashSim.CompareAndSwap(0, db.M.MaxClock())
-	rep := db.M.Crash(nodes...)
-	for _, n := range rep.Crashed {
-		db.Logs[n].Crash()
-		db.BM.DropNode(n)
-	}
-	db.mu.Lock()
-	for _, st := range db.txns {
-		if st.status == TxnActive && !st.crashed {
-			for _, n := range rep.Crashed {
-				if st.id.Node() == n {
-					st.crashed = true
-				}
-			}
-		}
-	}
-	db.mu.Unlock()
-	return rep
+	return db.M.Crash(nodes...)
 }
 
 // Recover runs restart recovery after Crash(crashed...). It must be called
 // from a surviving configuration (at least one live node).
+//
+// Recovery is itself crash-tolerant: if a node — including the recovery
+// coordinator — dies while recovery runs, Recover elects a new coordinator
+// from the survivors, folds the fresh victims into the crashed set, and
+// re-enters from the top. Every recovery pass is idempotent (version-checked
+// redo, tombstone LCB reinstalls, duplicate-free lock replay, status-guarded
+// settling), so re-entry repeats no effect; the attempt budget is bounded
+// because each re-entry consumes at least one real node crash and the
+// machine runs out of nodes to lose.
 func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	alive := db.M.AliveNodes()
 	if len(alive) == 0 {
 		return nil, fmt.Errorf("recovery: no surviving nodes")
 	}
 	defer db.frozen.Store(false)
-	coord := alive[0]
-	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: append([]machine.NodeID(nil), crashed...)}
+	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: mergeNodes(crashed, nil)}
 	startClock := db.M.MaxClock()
 	o := db.Observer()
 
@@ -103,9 +98,18 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		rep.Phases = append(rep.Phases, obs.PhaseSpan{Phase: obs.PhaseFreeze, Start: cs, Dur: startClock - cs})
 		o.Span(obs.KindPhase, obs.PhaseFreeze, obs.SystemNode, cs, startClock-cs)
 	}
-	phase := db.phaseTracker(rep, o)
+
+	// Workload-time faults (migration/update crashes, torn forces) stay
+	// quiet while recovery runs; in-recovery crashes and transient I/O
+	// errors remain live — they are precisely what this loop survives.
+	if inj := db.injector(); inj != nil {
+		inj.BeginRecovery()
+		defer inj.EndRecovery()
+	}
 
 	if db.Cfg.Protocol == BaselineFA {
+		rep.Attempts = 1
+		phase := db.phaseTracker(rep, o)
 		if err := db.baselineReboot(rep, phase); err != nil {
 			return nil, err
 		}
@@ -115,32 +119,91 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		return rep, nil
 	}
 
+	maxAttempts := db.M.Nodes() + 3
+	lastCoord := machine.NoNode
+	for {
+		alive = db.M.AliveNodes()
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("recovery: no surviving nodes")
+		}
+		if lastCoord != machine.NoNode && alive[0] != lastCoord {
+			rep.CoordinatorFailovers++
+		}
+		lastCoord = alive[0]
+		rep.Attempts++
+		err := db.recoverOnce(alive, rep)
+		if err == nil {
+			break
+		}
+		if rep.Attempts >= maxAttempts || !recoverableErr(err) {
+			return nil, err
+		}
+		// A node died under recovery's feet; fold the new victims into the
+		// reported crash set and re-enter with a fresh coordinator.
+		rep.Crashed = mergeNodes(rep.Crashed, db.downNodes())
+	}
+	sortTxns(rep.Aborted)
+	db.bump(func(s *Stats) {
+		s.RedoApplied += int64(rep.RedoApplied)
+		s.RedoSkipped += int64(rep.RedoSkipped)
+		s.UndoApplied += int64(rep.UndoApplied)
+		s.LCBsRebuilt += int64(rep.LCBsReinstalled)
+		s.LockEntriesReleased += int64(rep.LockEntriesReleased)
+	})
+	db.crashSim.Store(0) // mid-recovery crashes were handled in-line
+	rep.SimTime = db.M.MaxClock() - startClock
+	o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
+	return rep, nil
+}
+
+// recoverOnce is one attempt at the IFA restart-recovery sequence. Counters
+// accumulate into rep across attempts (each pass is idempotent, so repeated
+// work is skipped, not recounted). At every phase boundary the fault
+// injector may crash a node, in which case recoverOnce stops immediately
+// with ErrRecoveryInterrupted and Recover re-enters.
+func (db *DB) recoverOnce(alive []machine.NodeID, rep *RecoveryReport) error {
+	coord := alive[0]
+	o := db.Observer()
+	phase := db.phaseTracker(rep, o)
+	// step closes the phase span, then gives the injector its shot at
+	// crashing a node (possibly coord) at exactly this boundary.
+	step := func(p obs.Phase) error {
+		phase(p)
+		return db.faultAtPhase(p)
+	}
+
 	// 1. Lock space (section 4.2.2): reinstall destroyed LCB lines as
 	// tombstones, release every crashed transaction's entries from
 	// surviving LCBs, and rebuild lost lock state by replaying the
 	// survivors' logical lock logs for still-active transactions.
 	n, err := db.Locks.ReinstallLost(coord)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	rep.LCBsReinstalled = n
+	rep.LCBsReinstalled += n
 	dropped, orphans, err := db.Locks.SweepBrokenChains(coord)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	rep.LCBChainsDropped = dropped + orphans
-	phase(obs.PhaseDirectoryRepair)
-	released, err := db.Locks.ReleaseCrashed(coord, crashed)
+	rep.LCBChainsDropped += dropped + orphans
+	if err := step(obs.PhaseDirectoryRepair); err != nil {
+		return err
+	}
+	// Release every down node's transactions — the original victims plus
+	// any node lost during an earlier recovery attempt.
+	released, err := db.Locks.ReleaseCrashed(coord, db.downNodes())
 	if err != nil {
-		return nil, err
+		return err
 	}
-	rep.LockEntriesReleased = released
+	rep.LockEntriesReleased += released
 	replayed, err := db.replaySurvivorLocks(alive)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	rep.LocksReplayed = replayed
-	phase(obs.PhaseLockRebuild)
+	rep.LocksReplayed += replayed
+	if err := step(obs.PhaseLockRebuild); err != nil {
+		return err
+	}
 
 	// 2. Redo (section 4.1.2), in three phases: scan the available logs for
 	// redo candidates, probe residency (reinstalling lost lines from the
@@ -154,20 +217,26 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	}
 	cands, err := db.collectRedo(alive)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	phase(obs.PhaseRedoScan)
+	if err := step(obs.PhaseRedoScan); err != nil {
+		return err
+	}
 	if err := db.probeRedo(cands); err != nil {
-		return nil, err
+		return err
 	}
-	phase(obs.PhaseProbe)
+	if err := step(obs.PhaseProbe); err != nil {
+		return err
+	}
 	for _, c := range cands {
 		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
 		if err := db.redoRecord(c.onto, c.rec, rid, rep); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	phase(obs.PhaseRedoApply)
+	if err := step(obs.PhaseRedoApply); err != nil {
+		return err
+	}
 
 	// 3. Undo: down nodes' active transactions. Stolen or stably logged
 	// updates are undone from the stable logs; under undo tagging, updates
@@ -180,14 +249,32 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	down := db.downNodes()
 	aborted, err := db.undoCrashed(coord, down, rep)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	phase(obs.PhaseUndo)
+	if err := step(obs.PhaseUndo); err != nil {
+		return err
+	}
 	if db.Cfg.Protocol.UndoTagging() {
 		if err := db.undoTagScan(alive, down, rep); err != nil {
-			return nil, err
+			return err
 		}
-		phase(obs.PhaseUndoTagScan)
+		if err := step(obs.PhaseUndoTagScan); err != nil {
+			return err
+		}
+	}
+
+	// Make the repairs durable: the undo passes' compensation records so
+	// far live only in the coordinator's volatile log. If that node later
+	// crashes before the repaired pages are flushed, a fetch from the
+	// stable database would re-instate the very image a compensation
+	// record reverted — with no stable record left to redo the repair. One
+	// force per surviving log closes the window.
+	for _, n := range db.M.AliveNodes() {
+		if _, forced := db.Logs[n].ForceAll(); forced {
+			cost := db.logForceCost()
+			db.M.AdvanceClock(n, cost)
+			db.Observer().ObserveLogForce(cost)
+		}
 	}
 
 	// 4. Settle the victims. A transaction whose node crashed after its
@@ -198,7 +285,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	for _, n := range db.downNodes() {
 		v, err := db.view(n, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for t := range v.committed {
 			stableCommitted[t] = true
@@ -231,20 +318,29 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	// whole family; surviving branches are rolled back from their own
 	// logs.
 	if _, err := db.abortOrphanedBranches(rep); err != nil {
-		return nil, err
+		return err
 	}
-	phase(obs.PhaseSettle)
-	sortTxns(rep.Aborted)
-	db.bump(func(s *Stats) {
-		s.RedoApplied += int64(rep.RedoApplied)
-		s.RedoSkipped += int64(rep.RedoSkipped)
-		s.UndoApplied += int64(rep.UndoApplied)
-		s.LCBsRebuilt += int64(rep.LCBsReinstalled)
-		s.LockEntriesReleased += int64(rep.LockEntriesReleased)
-	})
-	rep.SimTime = db.M.MaxClock() - startClock
-	o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
-	return rep, nil
+	return step(obs.PhaseSettle)
+}
+
+// mergeNodes unions two node lists into a sorted, duplicate-free list.
+func mergeNodes(a, b []machine.NodeID) []machine.NodeID {
+	seen := make(map[machine.NodeID]bool, len(a)+len(b))
+	out := make([]machine.NodeID, 0, len(a)+len(b))
+	for _, n := range a {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range b {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // phaseTracker returns a closure that, on each call, closes the current
@@ -332,6 +428,19 @@ func (db *DB) view(n machine.NodeID, isCrashed bool) (*logView, error) {
 	return v, nil
 }
 
+// txnDead reports whether t is known to the engine as aborted — including
+// settled as aborted by a previous restart recovery after its node crashed.
+// Such a transaction's updates must never be replayed from a log.
+func (db *DB) txnDead(t wal.TxnID) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, ok := db.txns[t]
+	if !ok {
+		return false
+	}
+	return st.status == TxnAborted || (st.crashed && st.status != TxnCommitted)
+}
+
 // redoCand is one redo candidate produced by the scan phase: a log record
 // whose effect may be missing, plus the node that will replay it.
 type redoCand struct {
@@ -374,6 +483,16 @@ func (db *DB) collectRedo(alive []machine.NodeID) ([]redoCand, error) {
 				default:
 					continue
 				}
+			} else if rec.Type == wal.TypeUpdate && rec.NTA == 0 &&
+				!v.committed[rec.Txn] && db.txnDead(rec.Txn) {
+				// A restarted node's log can still carry updates of a
+				// transaction that died with an earlier crash. If that
+				// crash also destroyed the only copy of the effect, no
+				// compensation record was ever written — the undo was
+				// skipped as moot — so replaying the update here would
+				// resurrect it, and the undo pass (which covers only the
+				// currently-down nodes) would never see it again.
+				continue
 			}
 			cands = append(cands, redoCand{onto: onto, rec: rec})
 		}
@@ -682,9 +801,10 @@ func (db *DB) lastCommittedFromStable(nd machine.NodeID, rid heap.RID, crashed [
 	if best != nil {
 		return best, nil
 	}
-	// Fall back to the stable database image.
+	// Fall back to the stable database image (retrying transient injected
+	// I/O errors — recovery must outlast a flaky disk).
 	if db.Disk.Exists(rid.Page) {
-		img, err := db.Disk.ReadPage(rid.Page)
+		img, err := db.readPageRetry(nd, rid.Page)
 		if err != nil {
 			return nil, err
 		}

@@ -28,11 +28,8 @@ func (db *DB) Commit(nd machine.NodeID, t wal.TxnID) error {
 	}
 	db.flushDeferred(nd, st)
 	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeCommit, Txn: t})
-	if _, forced := db.Logs[nd].Force(lsn); forced {
-		cost := db.logForceCost()
-		db.M.AdvanceClock(nd, cost)
-		db.bump(func(s *Stats) { s.CommitForces++ })
-		db.Observer().ObserveLogForce(cost)
+	if err := db.forceThrough(nd, lsn, func(s *Stats) { s.CommitForces++ }); err != nil {
+		return fmt.Errorf("recovery: commit of %v: %w", t, err)
 	}
 	// The commit is acknowledged only if its record really reached stable
 	// store — the node may have crashed out from under this goroutine, in
@@ -212,11 +209,8 @@ func (db *DB) EndNTA(nd machine.NodeID, t wal.TxnID, nta uint64) error {
 	db.mu.Unlock()
 	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeNTAEnd, Txn: t, NTA: nta})
 	if db.Cfg.Protocol.EarlyCommitsStructural() {
-		if _, forced := db.Logs[nd].Force(lsn); forced {
-			cost := db.logForceCost()
-			db.M.AdvanceClock(nd, cost)
-			db.bump(func(s *Stats) { s.NTAForces++ })
-			db.Observer().ObserveLogForce(cost)
+		if err := db.forceThrough(nd, lsn, func(s *Stats) { s.NTAForces++ }); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -164,6 +164,14 @@ func (db *DB) applyChange(nd machine.NodeID, t wal.TxnID, rid heap.RID, newFlags
 	} else {
 		lsn = db.Logs[nd].Append(rec)
 		db.BM.NoteUpdate(rid.Page, nd, lsn)
+		// Injected fault: the updater dies after its log append but before
+		// its in-place slot write — the logged update never happened in
+		// memory, and recovery's version check must skip it.
+		if inj := db.injector(); inj != nil && inj.CrashAtUpdate(nd, db.aliveCount()) {
+			db.M.Crash(nd)
+			return fmt.Errorf("recovery: node %d crashed between log append and slot write: %w",
+				nd, machine.ErrNodeDown)
+		}
 	}
 
 	tag := machine.NoNode
@@ -186,12 +194,10 @@ func (db *DB) applyChange(nd machine.NodeID, t wal.TxnID, rid heap.RID, newFlags
 	switch db.Cfg.Protocol {
 	case StableEager:
 		// Stable LBM, enforced within the critical section: both undo and
-		// redo information are stable before the line can move.
-		if _, forced := db.Logs[nd].Force(lsn); forced {
-			cost := db.logForceCost()
-			db.M.AdvanceClock(nd, cost)
-			db.bump(func(s *Stats) { s.LBMForces++ })
-			db.Observer().ObserveLogForce(cost)
+		// redo information are stable before the line can move. The force
+		// can be torn by an injected crash; the update dies with the node.
+		if err := db.forceThrough(nd, lsn, func(s *Stats) { s.LBMForces++ }); err != nil {
+			return err
 		}
 	case StableTriggered:
 		// Stable LBM via the section 5.2 extension: mark the line active

@@ -22,6 +22,41 @@ const NoPage PageID = -1
 // ErrNoPage reports a read of a page that has never been written.
 var ErrNoPage = errors.New("storage: page has never been written")
 
+// ErrTransient reports a transient I/O error (injected by the fault engine;
+// on real hardware a recoverable bus/controller fault). Callers should retry
+// with backoff; the fault engine bounds consecutive failures so bounded
+// retries always succeed.
+var ErrTransient = errors.New("storage: transient I/O error")
+
+// FaultFunc is consulted before each storage operation; a non-nil return
+// fails the operation. The op string names the operation ("read", "write",
+// "append"). Installed via SetFault; nil disables injection.
+type FaultFunc func(op string) error
+
+// RetryPolicy bounds and paces retries of transient storage errors.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first try included).
+	MaxAttempts int
+	// BackoffNanos is the simulated-time delay charged before the first
+	// retry; it doubles on each subsequent one.
+	BackoffNanos int64
+}
+
+// DefaultRetry is the policy used by the buffer and log managers. Its six
+// attempts comfortably exceed the fault engine's default I/O-error burst
+// bound of two, so injected transient errors never become permanent.
+var DefaultRetry = RetryPolicy{MaxAttempts: 6, BackoffNanos: 20_000}
+
+// Backoff returns the simulated delay before retry attempt (1-based count of
+// failures so far), doubling per attempt.
+func (p RetryPolicy) Backoff(attempt int) int64 {
+	d := p.BackoffNanos
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	return d
+}
+
 // Disk is a simulated shared disk holding fixed-size pages. It is safe for
 // concurrent use.
 type Disk struct {
@@ -30,6 +65,7 @@ type Disk struct {
 	pages    map[PageID][]byte
 	reads    int64
 	writes   int64
+	fault    FaultFunc
 }
 
 // NewDisk returns an empty disk with the given page size.
@@ -43,8 +79,31 @@ func NewDisk(pageSize int) *Disk {
 // PageSize returns the page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
 
+// SetFault installs (or with nil removes) a fault hook consulted before
+// every read and write.
+func (d *Disk) SetFault(f FaultFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = f
+}
+
+// faultCheck calls the installed hook outside d.mu (the hook takes its own
+// lock and must not be invoked under ours).
+func (d *Disk) faultCheck(op string) error {
+	d.mu.Lock()
+	f := d.fault
+	d.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f(op)
+}
+
 // ReadPage returns a copy of page id, or ErrNoPage if it was never written.
 func (d *Disk) ReadPage(id PageID) ([]byte, error) {
+	if err := d.faultCheck("read"); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	p, ok := d.pages[id]
@@ -62,6 +121,9 @@ func (d *Disk) ReadPage(id PageID) ([]byte, error) {
 func (d *Disk) WritePage(id PageID, data []byte) error {
 	if len(data) > d.pageSize {
 		return fmt.Errorf("storage: page %d write of %d bytes exceeds page size %d", id, len(data), d.pageSize)
+	}
+	if err := d.faultCheck("write"); err != nil {
+		return err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -94,20 +156,39 @@ type LogDevice struct {
 	mu     sync.Mutex
 	buf    []byte
 	forces int64
+	fault  FaultFunc
 }
 
 // NewLogDevice returns an empty stable log device.
 func NewLogDevice() *LogDevice { return &LogDevice{} }
 
+// SetFault installs (or with nil removes) a fault hook consulted before
+// every append.
+func (d *LogDevice) SetFault(f FaultFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = f
+}
+
 // Append durably appends data and returns the byte offset at which it was
-// written.
-func (d *LogDevice) Append(data []byte) int64 {
+// written. A transient fault fails the append with no bytes written (an
+// injected torn write is modelled one level up, in wal.ForceTorn, which
+// appends only a prefix).
+func (d *LogDevice) Append(data []byte) (int64, error) {
+	d.mu.Lock()
+	f := d.fault
+	d.mu.Unlock()
+	if f != nil {
+		if err := f("append"); err != nil {
+			return 0, err
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	off := int64(len(d.buf))
 	d.buf = append(d.buf, data...)
 	d.forces++
-	return off
+	return off, nil
 }
 
 // Size returns the number of stable bytes.

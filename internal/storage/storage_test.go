@@ -86,8 +86,14 @@ func TestNewDiskPanicsOnBadSize(t *testing.T) {
 
 func TestLogDeviceAppend(t *testing.T) {
 	d := NewLogDevice()
-	o1 := d.Append([]byte("abc"))
-	o2 := d.Append([]byte("de"))
+	o1, err := d.Append([]byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := d.Append([]byte("de"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o1 != 0 || o2 != 3 {
 		t.Errorf("offsets = %d, %d; want 0, 3", o1, o2)
 	}
@@ -109,6 +115,55 @@ func TestLogDeviceContentsIsCopy(t *testing.T) {
 	c[0] = 9
 	if d.Contents()[0] != 1 {
 		t.Error("Contents exposed internal buffer")
+	}
+}
+
+func TestFaultHooks(t *testing.T) {
+	d := NewDisk(16)
+	if err := d.WritePage(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	fault := func(op string) error {
+		if fail {
+			return ErrTransient
+		}
+		return nil
+	}
+	d.SetFault(fault)
+	if _, err := d.ReadPage(0); !errors.Is(err, ErrTransient) {
+		t.Errorf("read under fault: err = %v, want ErrTransient", err)
+	}
+	if err := d.WritePage(0, []byte{2}); !errors.Is(err, ErrTransient) {
+		t.Errorf("write under fault: err = %v, want ErrTransient", err)
+	}
+	fail = false
+	if _, err := d.ReadPage(0); err != nil {
+		t.Errorf("read after fault cleared: %v", err)
+	}
+	d.SetFault(nil)
+
+	ld := NewLogDevice()
+	ld.SetFault(fault)
+	fail = true
+	if _, err := ld.Append([]byte("x")); !errors.Is(err, ErrTransient) {
+		t.Errorf("append under fault: err = %v, want ErrTransient", err)
+	}
+	if ld.Size() != 0 {
+		t.Errorf("failed append wrote %d bytes", ld.Size())
+	}
+	fail = false
+	if _, err := ld.Append([]byte("x")); err != nil {
+		t.Errorf("append after fault cleared: %v", err)
+	}
+}
+
+func TestRetryPolicyBackoffDoubles(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BackoffNanos: 100}
+	for i, want := range []int64{100, 200, 400} {
+		if got := p.Backoff(i + 1); got != want {
+			t.Errorf("Backoff(%d) = %d, want %d", i+1, got, want)
+		}
 	}
 }
 
@@ -175,7 +230,10 @@ func TestQuickLogDeviceIsAppendOnly(t *testing.T) {
 		var want []byte
 		prev := int64(-1)
 		for _, c := range chunks {
-			off := d.Append(c)
+			off, err := d.Append(c)
+			if err != nil {
+				return false
+			}
 			if off != int64(len(want)) || off <= prev && len(c) > 0 && prev >= 0 && off != prev {
 				return false
 			}

@@ -1,7 +1,6 @@
 package wal
 
 import (
-	"fmt"
 	"sync"
 
 	"smdb/internal/machine"
@@ -38,6 +37,13 @@ type Log struct {
 	// truncation low-water mark.
 	firstByTxn map[TxnID]LSN
 
+	// tornBytes counts stable-tail bytes discarded because a crash tore a
+	// force mid-write (repaired at NewLog/Reopen by truncating the device
+	// at the last checksum-valid record).
+	tornBytes int
+	// ioRetries counts transient device errors retried inside Force.
+	ioRetries int
+
 	// obs receives append/force events; simNow supplies the owning node's
 	// simulated clock. simNow must be lock-free: Force can run inside a
 	// machine pre-transition callback (triggered Stable LBM), where the
@@ -48,14 +54,18 @@ type Log struct {
 
 // NewLog creates a log for node n backed by stable device dev. If dev
 // already holds records (a restarted node), they are decoded and become the
-// stable prefix.
+// stable prefix; a torn tail — a partial record left by a crash mid-force —
+// is truncated at the last checksum-valid record rather than failing the
+// node open.
 func NewLog(n machine.NodeID, dev *storage.LogDevice) (*Log, error) {
 	l := &Log{node: n, dev: dev, first: 1,
 		lastByTxn: make(map[TxnID]LSN), firstByTxn: make(map[TxnID]LSN)}
 	if dev.Size() > 0 {
-		recs, err := DecodeAll(dev.Contents())
-		if err != nil {
-			return nil, fmt.Errorf("wal: recovering stable log of node %d: %w", n, err)
+		contents := dev.Contents()
+		recs, torn := DecodeAll(contents)
+		if torn > 0 {
+			dev.Truncate(contents[:len(contents)-torn])
+			l.tornBytes = torn
 		}
 		l.recs = recs
 		l.forced = len(recs)
@@ -163,7 +173,25 @@ func (l *Log) Force(upto LSN) (records int, forced bool) {
 	for i := l.forced; i < uptoIdx; i++ {
 		buf = append(buf, Marshal(&l.recs[i])...)
 	}
-	l.dev.Append(buf)
+	// The device can fail transiently (injected I/O faults). Retry under
+	// the default policy; no simulated backoff is charged here because
+	// Force may run inside a machine pre-transition callback, where the
+	// machine lock (and so AdvanceClock) is off-limits. On persistent
+	// failure nothing is stable and `forced` does not advance, so the
+	// commit path correctly reports the commit record unforced.
+	var err error
+	for attempt := 1; ; attempt++ {
+		if _, err = l.dev.Append(buf); err == nil {
+			break
+		}
+		if attempt >= storage.DefaultRetry.MaxAttempts {
+			return 0, false
+		}
+		l.ioRetries++
+		if l.obs != nil {
+			l.obs.Instant(obs.KindIORetry, int32(l.node), l.now(), int64(attempt), 0)
+		}
+	}
 	records = uptoIdx - l.forced
 	l.forced = uptoIdx
 	if l.obs != nil {
@@ -171,6 +199,78 @@ func (l *Log) Force(upto LSN) (records int, forced bool) {
 			int64(records), int64(l.first)+int64(l.forced)-1)
 	}
 	return records, true
+}
+
+// ForceTorn simulates a crash in the middle of a physical force: of the
+// records that Force(upto) would have written, only a `frac` fraction of the
+// encoded bytes reach the device — every whole record that fits, plus a
+// partial prefix of the next (the torn tail a restart must truncate). The
+// log is marked down, as the forcing node dies at this instant; the caller
+// crashes the node. It returns the whole records made stable and the torn
+// bytes left on the device.
+func (l *Log) ForceTorn(upto LSN, frac float64) (whole, torn int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return 0, 0
+	}
+	uptoIdx := int(upto-l.first) + 1
+	if uptoIdx > len(l.recs) {
+		uptoIdx = len(l.recs)
+	}
+	if uptoIdx <= l.forced {
+		l.down = true
+		return 0, 0
+	}
+	var bufs [][]byte
+	total := 0
+	for i := l.forced; i < uptoIdx; i++ {
+		b := Marshal(&l.recs[i])
+		bufs = append(bufs, b)
+		total += len(b)
+	}
+	limit := int(frac * float64(total))
+	if limit >= total {
+		limit = total - 1 // a torn force never completes
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	var out []byte
+	for _, b := range bufs {
+		if len(out)+len(b) <= limit {
+			out = append(out, b...)
+			whole++
+			continue
+		}
+		torn = limit - len(out)
+		out = append(out, b[:torn]...)
+		break
+	}
+	if len(out) > 0 {
+		// A transient device fault can compound the torn force; retry so
+		// the partial write lands, or fall back to "nothing reached the
+		// device" (an even shorter tear) on persistent failure.
+		landed := false
+		for attempt := 1; attempt <= storage.DefaultRetry.MaxAttempts; attempt++ {
+			if _, err := l.dev.Append(out); err == nil {
+				landed = true
+				break
+			}
+			l.ioRetries++
+		}
+		if !landed {
+			whole, torn = 0, 0
+		}
+	}
+	l.forced += whole
+	l.tornBytes += torn
+	l.down = true
+	if l.obs != nil {
+		l.obs.Instant(obs.KindWALForce, int32(l.node), l.now(),
+			int64(whole), int64(l.first)+int64(l.forced)-1)
+	}
+	return whole, torn
 }
 
 // ForceAll forces the entire log.
@@ -206,11 +306,32 @@ func (l *Log) Crash() int {
 	return lost
 }
 
-// Reopen re-enables the log for the node's restarted incarnation.
+// Reopen re-enables the log for the node's restarted incarnation. If the
+// crash tore a force mid-write, the partial record left on the device is
+// truncated away here (the in-memory state never counted it as stable).
 func (l *Log) Reopen() {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.down = false
-	l.mu.Unlock()
+	contents := l.dev.Contents()
+	if _, torn := DecodeAll(contents); torn > 0 {
+		l.dev.Truncate(contents[:len(contents)-torn])
+	}
+}
+
+// TornBytes returns the cumulative stable-tail bytes discarded because a
+// crash tore a force mid-write.
+func (l *Log) TornBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tornBytes
+}
+
+// IORetries returns the number of transient device errors retried by forces.
+func (l *Log) IORetries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ioRetries
 }
 
 // LastCheckpoint returns the LSN of the most recent checkpoint record (0 if
@@ -318,12 +439,10 @@ func (l *Log) DiscardThrough(upto LSN) int {
 
 // StableRecords decodes and returns the records on the stable device,
 // re-based to their true LSNs. It is what restart recovery can read for a
-// crashed node.
+// crashed node. A torn tail is ignored (recovery reads only the
+// checksum-valid prefix; the tail is truncated at Reopen).
 func (l *Log) StableRecords() ([]Record, error) {
-	recs, err := DecodeAll(l.dev.Contents())
-	if err != nil {
-		return nil, err
-	}
+	recs, _ := DecodeAll(l.dev.Contents())
 	l.mu.Lock()
 	base := l.first - 1
 	l.mu.Unlock()

@@ -217,17 +217,21 @@ func Unmarshal(buf []byte) (Record, int, error) {
 }
 
 // DecodeAll decodes a concatenation of records (e.g. a stable log device's
-// contents), assigning dense LSNs starting at 1.
-func DecodeAll(buf []byte) ([]Record, error) {
-	var out []Record
+// contents), assigning dense LSNs starting at 1. A log device's tail can be
+// torn: a crash mid-force leaves a partial (or checksum-corrupt) final
+// record. Decoding therefore stops at the last checksum-valid record and
+// reports the number of trailing bytes it discarded, instead of failing the
+// whole log open — the paper's force discipline guarantees nothing past the
+// last valid record was ever relied upon.
+func DecodeAll(buf []byte) (recs []Record, tornBytes int) {
 	for len(buf) > 0 {
 		r, n, err := Unmarshal(buf)
 		if err != nil {
-			return out, err
+			return recs, len(buf)
 		}
-		r.LSN = LSN(len(out) + 1)
-		out = append(out, r)
+		r.LSN = LSN(len(recs) + 1)
+		recs = append(recs, r)
 		buf = buf[n:]
 	}
-	return out, nil
+	return recs, 0
 }

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"smdb/internal/fault"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+)
+
+// RunChaos drives seeded crash/recover episodes: each episode runs the
+// concurrent workload with the fault injector armed, waits for an injected
+// failure (crashing a node itself if the schedule fired none), runs restart
+// recovery with faults still live — so recovery must survive coordinator
+// crashes and flaky I/O — and then asserts the IFA checker before restarting
+// the dead nodes for the next episode. The injector's single PRNG stream
+// makes the fault schedule reproducible from its seed.
+
+// ChaosResult aggregates one seeded chaos run.
+type ChaosResult struct {
+	Seed     int64
+	Episodes int
+	// Fault-side counts, from the injector.
+	CrashesInjected, TornForces, RecoveryCrashes, IOErrors int
+	// ForcedCrashes counts episodes where the schedule fired nothing and
+	// the harness crashed a node itself so recovery still ran.
+	ForcedCrashes int
+	// Recovery-side counts, summed over episodes.
+	RecoveryAttempts, CoordinatorFailovers int
+	// Workload-side counts, summed over episodes.
+	Committed, Aborted int
+	// Violations holds every IFA-checker complaint, prefixed with its
+	// episode (empty = the protocol survived the whole schedule).
+	Violations []string
+}
+
+func (r ChaosResult) String() string {
+	return fmt.Sprintf("seed=%d episodes=%d crashes=%d (forced=%d) torn=%d recoveryCrashes=%d ioErrors=%d attempts=%d failovers=%d committed=%d aborted=%d violations=%d",
+		r.Seed, r.Episodes, r.CrashesInjected, r.ForcedCrashes, r.TornForces,
+		r.RecoveryCrashes, r.IOErrors, r.RecoveryAttempts, r.CoordinatorFailovers,
+		r.Committed, r.Aborted, len(r.Violations))
+}
+
+// chaosDownNodes lists the currently dead nodes.
+func chaosDownNodes(db *recovery.DB) []machine.NodeID {
+	var out []machine.NodeID
+	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
+		if !db.M.Alive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RunChaos seeds the database, then runs `episodes` crash/recover episodes
+// of spec under the injector's fault schedule. It returns the aggregate
+// result; the error is non-nil only for harness failures (a wedged episode
+// or an unrecoverable engine error), never for IFA violations — those are
+// reported in the result so callers (and the -broken negative control) can
+// assert either way.
+func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (ChaosResult, error) {
+	res := ChaosResult{Seed: inj.Plan().Seed}
+	if err := Seed(db, spec.HeapPages); err != nil {
+		return res, fmt.Errorf("workload: chaos seeding: %w", err)
+	}
+	db.AttachFaults(inj)
+	defer db.AttachFaults(nil)
+	defer inj.Disarm()
+
+	for ep := 0; ep < episodes; ep++ {
+		res.Episodes++
+		epSpec := spec
+		epSpec.Seed = spec.Seed + int64(ep)*9973
+		runner := NewRunner(db, epSpec)
+		inj.ResetEpisode()
+		inj.Arm()
+
+		type runOut struct {
+			res Result
+			err error
+		}
+		stop := make(chan struct{})
+		out := make(chan runOut, 1)
+		go func() {
+			r, err := runner.RunConcurrent(stop)
+			out <- runOut{r, err}
+		}()
+
+		// Wait for a fault to freeze the system, or for the workload to
+		// drain without one.
+		var ro runOut
+		got := false
+		deadline := time.Now().Add(60 * time.Second)
+		for !got && !db.Frozen() {
+			select {
+			case ro = <-out:
+				got = true
+			case <-time.After(200 * time.Microsecond):
+				if time.Now().After(deadline) {
+					close(stop)
+					return res, fmt.Errorf("workload: chaos episode %d wedged (no crash, no completion)", ep)
+				}
+			}
+		}
+		close(stop)
+		if !got {
+			ro = <-out
+		}
+		if ro.err != nil && !db.Cfg.Protocol.DeferredLogging() {
+			// The deferred-logging negative control legitimately fails
+			// mid-workload (it cannot abort); real protocols must not.
+			return res, fmt.Errorf("workload: chaos episode %d: %w", ep, ro.err)
+		}
+		res.Committed += ro.res.Committed
+		res.Aborted += ro.res.Aborted
+
+		// If the schedule fired no crash this episode, crash a node
+		// ourselves — every episode must exercise recovery.
+		if !db.Frozen() {
+			alive := db.M.AliveNodes()
+			if len(alive) > 1 {
+				db.Crash(alive[len(alive)-1])
+				res.ForcedCrashes++
+			} else {
+				inj.Disarm()
+				continue
+			}
+		}
+
+		down := chaosDownNodes(db)
+		rep, err := db.Recover(down)
+		if err != nil {
+			return res, fmt.Errorf("workload: chaos episode %d recovery: %w", ep, err)
+		}
+		res.RecoveryAttempts += rep.Attempts
+		res.CoordinatorFailovers += rep.CoordinatorFailovers
+
+		// The checker must not draw injected I/O errors, and the stranded-
+		// transaction cleanup below is harness bookkeeping, not workload.
+		inj.Disarm()
+
+		// Recovery rightly leaves the survivors' in-flight transactions
+		// alone — that is the point of isolated failure atomicity — but the
+		// interrupted workload's worker goroutines are gone, so nobody will
+		// ever finish them, and under strict 2PL their locks would starve
+		// every later episode. Roll them back; the deferred-logging negative
+		// control cannot (it logged no undo information), so it only sheds
+		// their locks.
+		for _, t := range db.ActiveTxns(machine.NoNode) {
+			nd := t.Node()
+			if !db.M.Alive(nd) {
+				continue
+			}
+			if err := db.Abort(nd, t); err != nil && !db.Cfg.Protocol.DeferredLogging() {
+				return res, fmt.Errorf("workload: chaos episode %d rollback of stranded %v: %w", ep, t, err)
+			}
+			for _, name := range db.HeldLocks(t) {
+				_ = db.Locks.Release(nd, t, name)
+			}
+		}
+
+		coord := db.M.AliveNodes()[0]
+		for _, v := range db.CheckIFA(coord) {
+			res.Violations = append(res.Violations, fmt.Sprintf("episode %d: %s", ep, v))
+		}
+		for _, n := range chaosDownNodes(db) {
+			if err := db.RestartNode(n); err != nil {
+				return res, fmt.Errorf("workload: chaos episode %d restart of node %d: %w", ep, n, err)
+			}
+		}
+	}
+
+	st := inj.Stats()
+	res.CrashesInjected = st.Crashes
+	res.TornForces = st.TornForces
+	res.RecoveryCrashes = st.RecoveryCrashes
+	res.IOErrors = st.IOErrors
+	return res, nil
+}

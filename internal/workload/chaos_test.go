@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"smdb/internal/fault"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+)
+
+func chaosDB(t *testing.T, proto recovery.Protocol, nodes int) *recovery.DB {
+	t.Helper()
+	db, err := recovery.New(recovery.Config{
+		Machine:        machine.Config{Nodes: nodes, Lines: 4096},
+		Protocol:       proto,
+		LinesPerPage:   4,
+		RecsPerLine:    4,
+		Pages:          16,
+		LockTableLines: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func chaosSpec(seed int64) Spec {
+	return Spec{
+		TxnsPerNode:     6,
+		OpsPerTxn:       6,
+		ReadFraction:    0.4,
+		SharingFraction: 0.7,
+		Seed:            seed,
+	}
+}
+
+// TestChaosSeededSweep runs a sweep of seeded fault schedules — migration
+// crashes, update-window crashes, torn forces, in-recovery crashes, and
+// transient I/O errors all live at once — over each IFA protocol, asserting
+// zero checker violations across every recovery.
+func TestChaosSeededSweep(t *testing.T) {
+	protos := []recovery.Protocol{
+		recovery.VolatileSelectiveRedo,
+		recovery.StableEager,
+		recovery.StableTriggered,
+	}
+	for _, proto := range protos {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 6; seed++ {
+				db := chaosDB(t, proto, 4)
+				inj := fault.New(fault.Plan{
+					Seed:              seed,
+					PCrashAtMigration: 0.02,
+					PCrashAtUpdate:    0.01,
+					PTornForce:        0.02,
+					PCrashInRecovery:  0.3,
+					PCoordinatorCrash: 0.5,
+					PIOError:          0.05,
+					MaxCrashes:        2,
+				})
+				res, err := RunChaos(db, inj, chaosSpec(seed), 3)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if len(res.Violations) != 0 {
+					t.Errorf("seed %d: IFA violations under %v:\n%s",
+						seed, proto, strings.Join(res.Violations, "\n"))
+				}
+				if res.RecoveryAttempts < res.Episodes {
+					t.Errorf("seed %d: %d recovery attempts over %d episodes", seed, res.RecoveryAttempts, res.Episodes)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosCoordinatorCrashDuringRecovery forces the coordinator to die at a
+// recovery phase boundary in every episode: recovery must re-elect, re-enter,
+// and still satisfy the checker.
+func TestChaosCoordinatorCrashDuringRecovery(t *testing.T) {
+	db := chaosDB(t, recovery.StableEager, 4)
+	inj := fault.New(fault.Plan{
+		Seed:              7,
+		PCrashInRecovery:  1.0, // fire at the first phase boundary of every attempt
+		PCoordinatorCrash: 1.0, // always the coordinator
+		MaxCrashes:        2,   // the workload crash plus one in-recovery crash
+	})
+	res, err := RunChaos(db, inj, chaosSpec(7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("IFA violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.RecoveryCrashes == 0 {
+		t.Error("no in-recovery crash fired despite PCrashInRecovery=1")
+	}
+	if res.RecoveryAttempts <= res.Episodes {
+		t.Errorf("attempts=%d episodes=%d: no recovery re-entry happened", res.RecoveryAttempts, res.Episodes)
+	}
+	if res.CoordinatorFailovers == 0 {
+		t.Error("coordinator died mid-recovery but no failover was recorded")
+	}
+}
+
+// TestChaosTornTail makes every fault a torn log force: the victim's stable
+// device ends in a partial record, and recovery must truncate it at the last
+// checksum-valid record and settle the interrupted commit correctly.
+func TestChaosTornTail(t *testing.T) {
+	db := chaosDB(t, recovery.StableEager, 3)
+	inj := fault.New(fault.Plan{
+		Seed:       11,
+		PTornForce: 0.05,
+	})
+	res, err := RunChaos(db, inj, chaosSpec(11), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("IFA violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.TornForces == 0 {
+		t.Skip("no torn force fired under this seed (schedule-dependent)")
+	}
+}
+
+// TestChaosIORetry saturates the workload with transient I/O errors (no
+// crashes at all): every operation must eventually succeed through the
+// bounded retries, and a plain recovery of a forced crash must still pass.
+func TestChaosIORetry(t *testing.T) {
+	db := chaosDB(t, recovery.VolatileSelectiveRedo, 3)
+	inj := fault.New(fault.Plan{
+		Seed:     13,
+		PIOError: 0.5,
+	})
+	res, err := RunChaos(db, inj, chaosSpec(13), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("IFA violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.IOErrors == 0 {
+		t.Error("no I/O error fired despite PIOError=0.5")
+	}
+	if res.Committed == 0 {
+		t.Error("nothing committed under transient I/O errors (retries not working)")
+	}
+}
+
+// TestChaosBrokenPolicyCaught is the negative control: the AblatedNoLBM
+// policy logs at commit instead of before migration, so a crash at a line
+// migration loses undo information the survivors already depend on. The same
+// chaos harness that passes the real protocols must catch it.
+func TestChaosBrokenPolicyCaught(t *testing.T) {
+	caught := false
+	for seed := int64(1); seed <= 12 && !caught; seed++ {
+		db := chaosDB(t, recovery.AblatedNoLBM, 4)
+		inj := fault.New(fault.Plan{
+			Seed: seed,
+			// Mid-workload odds, not certainty: a certain crash would fire
+			// at the episode's very first data-line migration, before any
+			// transaction has uncommitted state to lose.
+			PCrashAtMigration: 0.35,
+		})
+		res, err := RunChaos(db, inj, chaosSpec(seed), 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Violations) > 0 {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatal("chaos harness failed to catch the deliberately broken AblatedNoLBM policy")
+	}
+}
