@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	smdb-bench [-exp all|table1|linelock|...] [-seed N] [-trace out.json] [-metrics]
+//	smdb-bench [-exp all|table1|linelock|...] [-seed N]
+//	           [-trace out.json] [-metrics] [-http 127.0.0.1:8321]
 //
-// -trace writes a Chrome trace-event JSON file (load it at ui.perfetto.dev
-// or chrome://tracing) covering the traced experiments — restart recovery's
-// phase spans in particular. -metrics prints the observability layer's
-// Prometheus text exposition and latency table after the experiments.
+// The observability flags are the shared set (internal/obscli): -trace
+// writes a Chrome trace-event JSON file (load it at ui.perfetto.dev or
+// chrome://tracing) covering the traced experiments — restart recovery's
+// phase spans in particular; -metrics prints the observability layer's
+// Prometheus text exposition and latency table after the experiments; -http
+// serves the live introspection endpoints while the experiments run.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"smdb/internal/harness"
 	"smdb/internal/obs"
+	"smdb/internal/obscli"
 	"smdb/internal/recovery"
 )
 
@@ -157,6 +161,14 @@ var experiments = []experiment{
 			}
 			return res.Table(), nil
 		}},
+	{"depcensus", "E17", "dependency census: cross-node dependencies per LBM discipline", "sections 3-4 (the hazard LBM prevents, quantified)",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunDepCensus(seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
 }
 
 func expNames() []string {
@@ -176,8 +188,7 @@ func usage() {
 func main() {
 	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(expNames(), ", ")+")")
 	seed := flag.Int64("seed", 1, "workload seed")
-	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
-	metrics := flag.Bool("metrics", false, "print the observability metrics after the experiments")
+	obsFlags := obscli.AddFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 
@@ -193,10 +204,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	var tracer *obs.Observer
-	if *tracePath != "" || *metrics {
-		tracer = obs.New()
+	stack, err := obsFlags.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
+		os.Exit(1)
 	}
+	tracer := stack.Obs
 
 	// Every experiment's schedule derives from this seed; print it so any
 	// run — especially a failing one in CI — is reproducible verbatim.
@@ -221,32 +234,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *metrics {
+	if obsFlags.Metrics {
+		// In addition to the shared latency table, the bench prints the
+		// Prometheus exposition itself: CI diffs it for exposition-format
+		// regressions without needing a live scrape.
 		fmt.Printf("\n=== observability metrics\n\n")
-		if err := tracer.MetricsTable(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "smdb-bench: metrics: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println()
 		if err := tracer.WritePrometheus(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "smdb-bench: metrics: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := tracer.WriteChromeTrace(f); err != nil {
-			fmt.Fprintf(os.Stderr, "smdb-bench: writing trace: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "smdb-bench: wrote %s (load at ui.perfetto.dev)\n", *tracePath)
+	if err := stack.Finish(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
+		os.Exit(1)
 	}
 }

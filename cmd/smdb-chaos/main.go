@@ -11,11 +11,19 @@
 //	           [-pmigration 0.02] [-pupdate 0.01] [-ptorn 0.02]
 //	           [-precovery 0.3] [-pcoordinator 0.5] [-pioerror 0.05]
 //	           [-maxcrashes 2] [-v] [-broken]
+//	           [-trace out.json] [-metrics] [-http 127.0.0.1:8321]
+//	           [-flightdir dumps/]
 //
 // -seeds N sweeps N consecutive seeds starting at -seed. -broken runs the
 // AblatedNoLBM negative control instead and *expects* the harness to catch
 // at least one IFA violation across the sweep, exiting non-zero if the
 // deliberately broken protocol slips through undetected.
+//
+// The shared observability flags (internal/obscli) additionally arm the
+// dependency-graph explainer: every recovery's verdicts are cross-checked
+// against the IFA checker, -flightdir captures a flight-recorder dump for
+// every violating episode, and -http serves the live dependency graph of
+// the seed currently running.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 
 	"smdb/internal/fault"
 	"smdb/internal/machine"
+	"smdb/internal/obscli"
 	"smdb/internal/recovery"
 	"smdb/internal/workload"
 )
@@ -55,6 +64,7 @@ func main() {
 	maxCrashes := flag.Int("maxcrashes", 2, "crash budget per episode")
 	verbose := flag.Bool("v", false, "print every seed's result line, not just failures")
 	broken := flag.Bool("broken", false, "run the AblatedNoLBM negative control and expect the harness to catch it")
+	obsFlags := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	proto, ok := protocols[*protoName]
@@ -79,7 +89,13 @@ func main() {
 	fmt.Printf("chaos: protocol=%s nodes=%d seeds=%d..%d episodes=%d (budget %d crashes/episode)\n",
 		proto, *nodes, *seed, *seed+int64(*seeds)-1, *episodes, *maxCrashes)
 
+	stack, err := obsFlags.Build()
+	if err != nil {
+		fatal(err)
+	}
+
 	violating, failed := 0, 0
+	verdicts, doomed, mismatched := 0, 0, 0
 	for i := 0; i < *seeds; i++ {
 		s := *seed + int64(i)
 		db, err := recovery.New(recovery.Config{
@@ -93,6 +109,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		stack.Attach(db)
 		inj := fault.New(fault.Plan{
 			Seed:              s,
 			PCrashAtMigration: *pMigration,
@@ -119,6 +136,17 @@ func main() {
 		if len(res.Violations) > 0 {
 			violating++
 		}
+		verdicts += res.Verdicts
+		doomed += res.DoomedVerdicts
+		if len(res.ExplainMismatches) > 0 {
+			// The dependency explainer and the IFA checker disagreeing is a
+			// harness bug regardless of the protocol under test.
+			mismatched++
+			fmt.Printf("seed %d: explainer/checker mismatch:\n", s)
+			for _, m := range res.ExplainMismatches {
+				fmt.Printf("  %s\n", m)
+			}
+		}
 		if *verbose || (len(res.Violations) > 0 && !*broken) {
 			fmt.Printf("%s\n", res)
 			for _, v := range res.Violations {
@@ -126,9 +154,23 @@ func main() {
 			}
 		}
 	}
+	if verdicts > 0 {
+		fmt.Printf("explainer: %d verdicts, %d doomed survivors, %d seeds with checker mismatches\n",
+			verdicts, doomed, mismatched)
+	}
+	if dumps := stack.Flight.Dumps(); len(dumps) > 0 {
+		fmt.Printf("flight recorder: %d dumps under %s\n", len(dumps), obsFlags.FlightDir)
+	}
+	if err := stack.Finish(os.Stdout); err != nil {
+		fatal(err)
+	}
 
 	if failed > 0 {
 		fmt.Printf("FAIL: %d/%d seeds hit harness errors\n", failed, *seeds)
+		os.Exit(1)
+	}
+	if mismatched > 0 {
+		fmt.Printf("FAIL: explainer/checker mismatches on %d/%d seeds\n", mismatched, *seeds)
 		os.Exit(1)
 	}
 	if *broken {

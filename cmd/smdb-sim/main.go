@@ -7,11 +7,15 @@
 //
 //	smdb-sim [-nodes 8] [-protocol volatile-selective] [-crash 3,5]
 //	         [-sharing 0.6] [-recsperline 4] [-coherency invalidate]
-//	         [-txns 8] [-ops 10] [-seed 1] [-trace out.json] [-metrics]
+//	         [-txns 8] [-ops 10] [-seed 1]
+//	         [-trace out.json] [-metrics] [-http 127.0.0.1:8321]
+//	         [-httphold 30s] [-flightdir dumps/]
 //
-// -trace writes the run as Chrome trace-event JSON (load it at
-// ui.perfetto.dev); -metrics prints the observability layer's latency
-// histograms and event counts after the run.
+// The observability flags are the shared set (internal/obscli): -trace
+// writes the run as Chrome trace-event JSON (load it at ui.perfetto.dev),
+// -metrics prints the latency histograms and event counts, -http serves the
+// live introspection endpoints while the run executes, and -flightdir
+// enables crash flight-recorder dumps.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obscli"
 	"smdb/internal/recovery"
 	"smdb/internal/workload"
 )
@@ -47,8 +52,7 @@ func main() {
 	txns := flag.Int("txns", 8, "transactions per node")
 	ops := flag.Int("ops", 10, "operations per transaction")
 	seed := flag.Int64("seed", 1, "workload seed")
-	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
-	metrics := flag.Bool("metrics", false, "print the observability metrics after the run")
+	obsFlags := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	proto, ok := protocols[*protoName]
@@ -81,11 +85,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var tracer *obs.Observer
-	if *tracePath != "" || *metrics {
-		tracer = obs.New()
-		db.AttachObserver(tracer)
+	stack, err := obsFlags.Build()
+	if err != nil {
+		fatal(err)
 	}
+	stack.Attach(db)
 	fmt.Printf("machine: %d nodes, %s coherency, %d records per %dB line\n",
 		*nodes, coh, *recsPerLine, db.M.LineSize())
 	fmt.Printf("protocol: %s (IFA: %v)\n", proto, proto.IFA())
@@ -128,9 +132,18 @@ func main() {
 	alive := db.M.AliveNodes()
 	if len(alive) == 0 {
 		fmt.Println("no survivors (whole machine crashed)")
+		if err := stack.Finish(os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	violations := db.CheckIFA(alive[0])
+	if len(violations) > 0 {
+		if dir, err := db.DumpFlight("ifa-violation"); err == nil && dir != "" {
+			fmt.Fprintf(os.Stderr, "flight recorder: dumped %s\n", dir)
+		}
+	}
+	exitCode := 0
 	switch {
 	case len(violations) == 0 && proto.IFA():
 		fmt.Println("IFA check: PASS — crashed transactions fully undone, surviving transactions untouched")
@@ -143,36 +156,22 @@ func main() {
 		for _, v := range violations {
 			fmt.Printf("  %s\n", v)
 		}
-		os.Exit(1)
+		exitCode = 1
 	default:
 		fmt.Printf("IFA check: FAIL as expected for %s (%d violations) — the hazards LBM exists to prevent:\n", proto, len(violations))
 		for _, v := range violations {
 			fmt.Printf("  %s\n", v)
 		}
 	}
+	stack.PrintVerdicts(os.Stdout)
 	st := db.M.Stats()
 	fmt.Printf("\ncoherency traffic: %d migrations, %d downgrades, %d invalidations, %d lines lost\n",
 		st.Migrations, st.Downgrades, st.Invalidations, st.LinesLost)
 
-	if *metrics {
-		fmt.Println()
-		if err := tracer.MetricsTable(os.Stdout); err != nil {
-			fatal(err)
-		}
+	if err := stack.Finish(os.Stdout); err != nil {
+		fatal(err)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tracer.WriteChromeTrace(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "smdb-sim: wrote %s (load at ui.perfetto.dev)\n", *tracePath)
-	}
+	os.Exit(exitCode)
 }
 
 func fatal(err error) {

@@ -480,3 +480,48 @@ func TestOSStructShapes(t *testing.T) {
 		t.Errorf("reclaimed %d of the victim's %d blocks with no rebuild", res.BlocksReclaimed, res.VictimBlocks)
 	}
 }
+
+func TestDepCensusShapes(t *testing.T) {
+	res, err := RunDepCensus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	byProto := map[recovery.Protocol]DepCensusPoint{}
+	for _, p := range res.Points {
+		byProto[p.Protocol] = p
+		// The schedule forms cross-node dependencies under every discipline
+		// — LBM changes their *coverage*, not their existence.
+		if p.Census.Edges == 0 || p.Census.TxnsWithDeps == 0 {
+			t.Errorf("%v: no dependencies formed: %+v", p.Protocol, p.Census)
+		}
+		// The crash yields a verdict for the victim and each survivor.
+		if p.Verdicts == 0 || p.Aborted == 0 {
+			t.Errorf("%v: verdicts=%d aborted=%d", p.Protocol, p.Verdicts, p.Aborted)
+		}
+	}
+	for _, proto := range []recovery.Protocol{recovery.StableEager, recovery.VolatileSelectiveRedo} {
+		p := byProto[proto]
+		if p.Census.UnloggedEdges != 0 || p.Census.TxnsWithUnlogged != 0 {
+			t.Errorf("%v exposed unlogged edges: %+v", proto, p.Census)
+		}
+		if p.Doomed != 0 {
+			t.Errorf("%v doomed a survivor: %+v", proto, p)
+		}
+	}
+	abl := byProto[recovery.AblatedNoLBM]
+	if abl.Census.UnloggedEdges == 0 || abl.Census.TxnsWithUnlogged == 0 {
+		t.Errorf("ablated control exposed no unlogged edges: %+v", abl.Census)
+	}
+	if abl.Doomed == 0 {
+		t.Error("ablated control doomed no survivor — the census cannot show the hazard")
+	}
+	table := res.Table()
+	for _, want := range []string{"unlogged", "doomed", "ablated/no-lbm"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -53,6 +53,11 @@ func (m *Machine) Read(nd NodeID, l LineID, off, n int) ([]byte, error) {
 			ln.excl = NoNode
 			m.traceLocked(obs.KindDowngrade, nd, int64(l), int64(from))
 			fev = &Event{Line: l, Kind: EventDowngrade, From: from, To: nd}
+		} else {
+			// Shared replication: a copy spreads without any holder losing
+			// state. Traced so residency consumers (the dependency tracker)
+			// see the line enter nd's failure domain.
+			m.traceLocked(obs.KindReplicate, nd, int64(l), int64(ln.holders.lowest()))
 		}
 		ln.holders.add(nd)
 		m.stats.RemoteFetches++
@@ -175,6 +180,11 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) error {
 // node held its sole copy.
 func (m *Machine) writeBroadcastLocked(nd NodeID, ln *line, l LineID, off int, data []byte) error {
 	if !ln.holders.has(nd) {
+		from := nd
+		if !ln.holders.empty() {
+			from = ln.holders.lowest()
+		}
+		m.traceLocked(obs.KindReplicate, nd, int64(l), int64(from))
 		ln.holders.add(nd)
 		m.stats.RemoteFetches++
 		m.stats.Replications++
@@ -225,6 +235,7 @@ func (m *Machine) Install(nd NodeID, l LineID, data []byte) error {
 	ln.excl = nd
 	ln.active = false
 	m.stats.Installs++
+	m.traceLocked(obs.KindInstall, nd, int64(l), 0)
 	m.charge(nd, m.cfg.Cost.WriteLocal)
 	return nil
 }
@@ -252,13 +263,16 @@ func (m *Machine) Discard(nd NodeID, l LineID) error {
 		ln.excl = NoNode
 	}
 	m.stats.Discards++
+	var destroyed int64
 	if ln.holders.empty() {
 		ln.valid = false
 		ln.active = false
+		destroyed = 1
 		for i := range ln.data {
 			ln.data[i] = 0
 		}
 	}
+	m.traceLocked(obs.KindDiscard, nd, int64(l), destroyed)
 	return nil
 }
 

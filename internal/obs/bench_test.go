@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// The engine calls the observer's hooks on every lock acquire, WAL append,
+// and coherency transition, almost always with observability disabled. The
+// nil-receiver fast path must therefore cost a few nanoseconds and zero
+// allocations; these benchmarks (with -benchmem) and the allocation test
+// pin that contract.
+
+func BenchmarkNilObserver(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Instant(KindMigrate, 1, int64(i), 5, 0)
+	}
+}
+
+func BenchmarkNilObserverSpan(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Span(KindPhase, PhaseRedoApply, SystemNode, int64(i), 10)
+	}
+}
+
+func BenchmarkNilObserverHistogram(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.ObserveLineLock(int64(i))
+	}
+}
+
+// BenchmarkEnabledObserverInstant is the comparison point: the price a run
+// pays once -trace/-metrics/-http turn the observer on.
+func BenchmarkEnabledObserverInstant(b *testing.B) {
+	o := NewWithCapacity(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Instant(KindMigrate, 1, int64(i), 5, 0)
+	}
+}
+
+func TestNilObserverHooksDoNotAllocate(t *testing.T) {
+	var o *Observer
+	if n := testing.AllocsPerRun(100, func() {
+		o.Instant(KindMigrate, 1, 10, 5, 0)
+		o.Span(KindPhase, PhaseRedoApply, SystemNode, 10, 5)
+		o.Record(Event{Kind: KindCrash})
+		o.ObserveLineLock(7)
+		o.ObserveCommit(7)
+		o.ObserveLogForce(7)
+	}); n != 0 {
+		t.Errorf("disabled observer hooks allocate %v times per call", n)
+	}
+}

@@ -1,0 +1,91 @@
+package deps
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smdb/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracker builds a small deterministic graph: one logged transaction
+// whose line migrated into the (later crashed) node 3, one deferred-logging
+// transaction whose line was downgraded into node 0, a WAL-force horizon, and
+// one crash episode. Every exporter input is pinned so the output is
+// byte-stable.
+func goldenTracker() *Tracker {
+	tr := New(nil)
+	t1 := txnID(1, 1)
+	t2 := txnID(2, 1)
+	tr.NoteWrite(t1, 1, 5, 100, 7, 10)
+	tr.NoteWrite(t2, 2, 6, 200, 0, 12) // never logged
+	tr.OnEvent(ev(obs.KindWALForce, 1, 15, 3, 7))
+	tr.OnEvent(ev(obs.KindMigrate, 3, 20, 5, 1))
+	tr.OnEvent(ev(obs.KindDowngrade, 0, 25, 6, 2))
+	tr.NoteCrash([]int32{3}, []int32{5}, 30)
+	return tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestWriteDOTGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracker().WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "deps_dot.golden", buf.Bytes())
+}
+
+func TestWriteGraphJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracker().WriteGraphJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("graph export is not valid JSON:\n%s", buf.String())
+	}
+	// The export must round-trip into the documented shape.
+	var g GraphJSON
+	if err := json.Unmarshal(buf.Bytes(), &g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Txns) != 2 || len(g.Crashes) != 1 {
+		t.Errorf("graph = %d txns %d crashes, want 2/1", len(g.Txns), len(g.Crashes))
+	}
+	checkGolden(t, "deps_json.golden", buf.Bytes())
+}
+
+func TestWriteDOTNil(t *testing.T) {
+	var tr *Tracker
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("digraph recovery_deps")) {
+		t.Errorf("nil-tracker DOT = %q", buf.String())
+	}
+}

@@ -112,6 +112,16 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 			ce.Ph = "X"
 			ce.Dur = &dur
 			ce.Args = map[string]any{"sim_ns": e.Sim, "dur_ns": e.Dur}
+		case KindDepEdge:
+			// Dependency edges decode their packed argument so a trace
+			// viewer shows which node/line the transaction depends on.
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = map[string]any{
+				"txn":  e.A,
+				"to":   e.B >> 32,
+				"line": e.B & 0xffffffff,
+			}
 		default:
 			ce.Ph = "i"
 			ce.S = "t"

@@ -26,6 +26,9 @@ func goldenObserver() *Observer {
 	rec(Event{Kind: KindTxnBegin, Node: 0, Sim: 100, A: 1})
 	rec(Event{Kind: KindWALAppend, Node: 0, Sim: 220, A: 7, B: 2})
 	rec(Event{Kind: KindMigrate, Node: 1, Sim: 340, A: 12})
+	// A dependency edge echoed by the deps tracker: txn 1 (home node 0) now
+	// has uncommitted data on line 12 in node 1's cache (B = to<<32|line).
+	rec(Event{Kind: KindDepEdge, Node: 0, Sim: 360, A: 1, B: 1<<32 | 12})
 	rec(Event{Kind: KindCrash, Node: 1, Sim: 500, A: 4, B: 2})
 	rec(Event{Kind: KindPhase, Phase: PhaseDirectoryRepair, Node: SystemNode, Sim: 1000, Dur: 400})
 	rec(Event{Kind: KindPhase, Phase: PhaseLockRebuild, Node: SystemNode, Sim: 1400, Dur: 300})

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The crash flight recorder: on any node crash or IFA-check failure the
+// engine dumps a post-mortem snapshot — the last-N trace events per node,
+// the recovery-dependency graph, and engine stats deltas — into a fresh
+// timestamped directory, so a failed chaos run leaves enough evidence to
+// reconstruct the failure without re-running it.
+
+// GraphWriter renders a dependency graph (deps.Tracker satisfies it; the
+// interface lives here so obs does not import its own subpackage).
+type GraphWriter interface {
+	WriteDOT(io.Writer) error
+	WriteGraphJSON(io.Writer) error
+}
+
+// DefaultFlightEvents is the per-node event tail retained in a dump.
+const DefaultFlightEvents = 256
+
+// maxDumps bounds the dumps one recorder writes, so a crash loop cannot
+// fill the disk; later dumps are counted but skipped.
+const maxDumps = 64
+
+// FlightRecorder writes crash dumps. A nil recorder is inert (all methods
+// are nil-receiver safe), so the engine hooks cost one pointer test when
+// disabled.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	dir     string
+	lastN   int
+	seq     int
+	skipped int
+	obs     *Observer
+	graph   GraphWriter
+	stats   func(io.Writer) error
+	dumps   []string
+}
+
+// NewFlightRecorder creates a recorder dumping into subdirectories of dir
+// (created on first dump). lastN bounds the per-node event tail; <= 0 uses
+// DefaultFlightEvents.
+func NewFlightRecorder(dir string, lastN int) *FlightRecorder {
+	if lastN <= 0 {
+		lastN = DefaultFlightEvents
+	}
+	return &FlightRecorder{dir: dir, lastN: lastN}
+}
+
+// SetSources wires the recorder's data sources: the observer whose event
+// rings are tailed, an optional dependency-graph renderer, and an optional
+// stats writer (called once per dump; implementations typically print
+// deltas since the previous dump). Any may be nil.
+func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, stats func(io.Writer) error) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.obs = o
+	r.graph = g
+	r.stats = stats
+	r.mu.Unlock()
+}
+
+// Dumps lists the directories written so far.
+func (r *FlightRecorder) Dumps() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.dumps...)
+}
+
+// sanitize keeps reason strings path-safe.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "dump"
+	}
+	return b.String()
+}
+
+// flightEvent is the JSON rendering of one trace event.
+type flightEvent struct {
+	Sim   int64  `json:"sim"`
+	Wall  int64  `json:"wall"`
+	Kind  string `json:"kind"`
+	Phase string `json:"phase,omitempty"`
+	Dur   int64  `json:"dur,omitempty"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+}
+
+// Dump writes one post-mortem directory named <seq>-<reason>-<stamp> and
+// returns its path. Dumps beyond the recorder's budget are skipped (counted
+// in MANIFEST of later dumps); a nil recorder returns ("", nil).
+func (r *FlightRecorder) Dump(reason string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq >= maxDumps {
+		r.skipped++
+		return "", nil
+	}
+	r.seq++
+	name := fmt.Sprintf("%03d-%s-%s", r.seq, sanitize(reason),
+		time.Now().UTC().Format("20060102T150405.000000000"))
+	dir := filepath.Join(r.dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	// Group the observer's retained events by node and keep each tail.
+	byNode := map[int32][]Event{}
+	var nodes []int32
+	for _, e := range r.obs.Events() {
+		if _, ok := byNode[e.Node]; !ok {
+			nodes = append(nodes, e.Node)
+		}
+		byNode[e.Node] = append(byNode[e.Node], e)
+	}
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j] < nodes[i] {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+		}
+	}
+	for n, evs := range byNode {
+		if len(evs) > r.lastN {
+			byNode[n] = evs[len(evs)-r.lastN:]
+		}
+	}
+
+	if err := r.writeFile(dir, "MANIFEST.txt", func(w io.Writer) error {
+		fmt.Fprintf(w, "reason: %s\nwall: %s\nevents-per-node: %d\nskipped-dumps: %d\n",
+			reason, time.Now().UTC().Format(time.RFC3339Nano), r.lastN, r.skipped)
+		fmt.Fprintf(w, "files: MANIFEST.txt events.json events.txt")
+		if r.graph != nil {
+			fmt.Fprintf(w, " deps.dot deps.json")
+		}
+		if r.stats != nil {
+			fmt.Fprintf(w, " stats.txt")
+		}
+		fmt.Fprintln(w)
+		if r.obs != nil {
+			fmt.Fprintln(w)
+			return r.obs.MetricsTable(w)
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+
+	if err := r.writeFile(dir, "events.json", func(w io.Writer) error {
+		doc := struct {
+			Reason string                  `json:"reason"`
+			Nodes  map[string][]flightEvent `json:"nodes"`
+		}{Reason: reason, Nodes: map[string][]flightEvent{}}
+		for n, evs := range byNode {
+			key := fmt.Sprintf("node%d", n)
+			if n == SystemNode {
+				key = "system"
+			}
+			out := make([]flightEvent, 0, len(evs))
+			for _, e := range evs {
+				fe := flightEvent{Sim: e.Sim, Wall: e.Wall, Kind: e.Kind.String(), Dur: e.Dur, A: e.A, B: e.B}
+				if e.Phase != PhaseNone {
+					fe.Phase = e.Phase.String()
+				}
+				out = append(out, fe)
+			}
+			doc.Nodes[key] = out
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}); err != nil {
+		return "", err
+	}
+
+	if err := r.writeFile(dir, "events.txt", func(w io.Writer) error {
+		for _, n := range nodes {
+			label := fmt.Sprintf("node %d", n)
+			if n == SystemNode {
+				label = "system"
+			}
+			fmt.Fprintf(w, "== %s (last %d events)\n", label, len(byNode[n]))
+			for _, e := range byNode[n] {
+				name := e.Kind.String()
+				if e.Kind == KindPhase {
+					name = "phase:" + e.Phase.String()
+				}
+				fmt.Fprintf(w, "  sim=%-12d %-16s a=%-8d b=%-8d dur=%d\n", e.Sim, name, e.A, e.B, e.Dur)
+			}
+		}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+
+	if r.graph != nil {
+		if err := r.writeFile(dir, "deps.dot", r.graph.WriteDOT); err != nil {
+			return "", err
+		}
+		if err := r.writeFile(dir, "deps.json", r.graph.WriteGraphJSON); err != nil {
+			return "", err
+		}
+	}
+	if r.stats != nil {
+		if err := r.writeFile(dir, "stats.txt", r.stats); err != nil {
+			return "", err
+		}
+	}
+	r.dumps = append(r.dumps, dir)
+	return dir, nil
+}
+
+func (r *FlightRecorder) writeFile(dir, name string, fn func(io.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -70,6 +70,28 @@ func (h *Histogram) Observe(v int64) {
 	h.mu.Unlock()
 }
 
+// Merge folds a snapshot into h, bucket by bucket — used to aggregate
+// per-shard histograms (e.g. the dependency census across protocol runs).
+// Merging an empty snapshot is a no-op.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range s.Buckets {
+		h.buckets[i] += c
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	if h.min < 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+	h.mu.Unlock()
+}
+
 // HistogramSnapshot is a consistent copy of a histogram's state.
 type HistogramSnapshot struct {
 	Name       string

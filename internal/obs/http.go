@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// The live introspection server: every cmd grows an -http flag serving the
+// observability surface while the engine runs — Prometheus metrics, a
+// Chrome-trace snapshot, the recovery-dependency graph, a health probe, and
+// net/http/pprof. Handlers snapshot under the observer's own locks, so
+// scraping is safe mid-run.
+
+// NewHTTPHandler builds the introspection mux:
+//
+//	/healthz        liveness ("ok events=N uptime=...")
+//	/metrics        Prometheus text exposition
+//	/trace          Chrome trace-event JSON snapshot (Perfetto-loadable)
+//	/deps           dependency graph, DOT (default) or ?format=json
+//	/debug/pprof/   the standard Go profiler endpoints
+//
+// o may be nil (endpoints degrade to empty documents) and graph may be nil
+// (/deps explains that no tracker is attached).
+func NewHTTPHandler(o *Observer, graph GraphWriter) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var events int64
+		for k := Kind(0); k < numKinds; k++ {
+			events += o.Count(k)
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok events=%d uptime=%s\n", events, time.Since(start).Round(time.Millisecond))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := o.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/deps", func(w http.ResponseWriter, r *http.Request) {
+		if graph == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "digraph recovery_deps {\n  // no dependency tracker attached\n}")
+			return
+		}
+		var err error
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			err = graph.WriteGraphJSON(w)
+		} else {
+			w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+			err = graph.WriteDOT(w)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "smdb introspection endpoints:\n  /healthz\n  /metrics\n  /trace\n  /deps[?format=json]\n  /debug/pprof/")
+	})
+	return mux
+}
+
+// HTTPServer is a running introspection server.
+type HTTPServer struct {
+	Addr string // bound address (resolves ":0" requests)
+	srv  *http.Server
+	lis  net.Listener
+	done atomic.Bool
+}
+
+// ServeHTTP starts the introspection server on addr (e.g. "127.0.0.1:8321"
+// or "127.0.0.1:0") in a background goroutine and returns once the listener
+// is bound. Close with Shutdown.
+func ServeHTTP(addr string, o *Observer, graph GraphWriter) (*HTTPServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{
+		Addr: lis.Addr().String(),
+		srv:  &http.Server{Handler: NewHTTPHandler(o, graph)},
+		lis:  lis,
+	}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Shutdown stops the server, closing the listener. Safe to call twice.
+func (s *HTTPServer) Shutdown() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	_ = s.srv.Close()
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res.StatusCode, string(body), res.Header.Get("Content-Type")
+}
+
+func TestHTTPHandlerEndpoints(t *testing.T) {
+	h := NewHTTPHandler(goldenObserver(), stubGraph{})
+
+	code, body, _ := get(t, h, "/healthz")
+	if code != 200 || !strings.HasPrefix(body, "ok events=") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, ctype := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics = %d content-type %q", code, ctype)
+	}
+	if !strings.Contains(body, `smdb_events_total{kind="crash"} 1`) {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body, ctype = get(t, h, "/trace")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"traceEvents"`) {
+		t.Errorf("/trace = %d %q %q", code, ctype, body[:min(len(body), 80)])
+	}
+
+	code, body, ctype = get(t, h, "/deps")
+	if code != 200 || !strings.Contains(ctype, "graphviz") || !strings.Contains(body, "digraph recovery_deps") {
+		t.Errorf("/deps = %d %q %q", code, ctype, body)
+	}
+	code, body, ctype = get(t, h, "/deps?format=json")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"txns"`) {
+		t.Errorf("/deps?format=json = %d %q %q", code, ctype, body)
+	}
+
+	code, _, _ = get(t, h, "/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	code, body, _ = get(t, h, "/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	code, _, _ = get(t, h, "/nope")
+	if code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestHTTPHandlerNilSources(t *testing.T) {
+	h := NewHTTPHandler(nil, nil)
+	code, body, _ := get(t, h, "/deps")
+	if code != 200 || !strings.Contains(body, "no dependency tracker attached") {
+		t.Errorf("/deps with nil graph = %d %q", code, body)
+	}
+	code, _, _ = get(t, h, "/healthz")
+	if code != 200 {
+		t.Errorf("/healthz with nil observer = %d", code)
+	}
+	code, _, _ = get(t, h, "/metrics")
+	if code != 200 {
+		t.Errorf("/metrics with nil observer = %d", code)
+	}
+}
+
+func TestServeHTTPLive(t *testing.T) {
+	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	resp, err := http.Get("http://" + s.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(string(body), "ok events=") {
+		t.Errorf("live /healthz = %d %q", resp.StatusCode, body)
+	}
+	s.Shutdown()
+	s.Shutdown() // idempotent
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

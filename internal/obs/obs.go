@@ -75,6 +75,22 @@ const (
 	// KindIORetry is a transient storage error retried by a caller
 	// (A = attempt number, B = backoff charged in simulated ns).
 	KindIORetry
+	// KindReplicate is a shared-read remote fetch replicating a line into
+	// another cache without a downgrade (A = line, B = a prior holder).
+	// Downgrades and migrations have their own kinds; together the four
+	// residency kinds let a consumer reconstruct every line's holder set.
+	KindReplicate
+	// KindInstall is a line (re)installed from stable storage, replacing
+	// all cached copies (A = line; node = the new sole holder).
+	KindInstall
+	// KindDiscard drops one node's cached copy (A = line, B = 1 if that was
+	// the last copy and the content was destroyed).
+	KindDiscard
+	// KindDepEdge is a recovery-dependency edge discovered by the
+	// dependency tracker (internal/obs/deps): node = the dependent
+	// transaction's home node, A = its transaction id, B packs the node now
+	// holding its uncommitted data with the line (to<<32 | line).
+	KindDepEdge
 
 	numKinds
 )
@@ -84,6 +100,7 @@ var kindNames = [numKinds]string{
 	"wal-append", "wal-force", "lock-acquire", "lock-wait", "deadlock",
 	"txn-begin", "txn-commit", "txn-abort", "page-fetch", "page-flush",
 	"crash", "phase", "recovery", "fault", "io-retry",
+	"replicate", "install", "discard", "dep-edge",
 }
 
 func (k Kind) String() string {
@@ -212,12 +229,26 @@ func (r *ring) snapshot() []Event {
 	return append(out, r.buf[:r.next]...)
 }
 
+// Sink receives every event an Observer records, synchronously, after the
+// event has been placed in its ring. Implementations must be safe for
+// concurrent calls and must not call back into the engine layer that emitted
+// the event (emitters may hold their own locks across Record); calling back
+// into the Observer itself is allowed. The dependency tracker
+// (internal/obs/deps) is the canonical sink.
+type Sink interface {
+	OnEvent(Event)
+}
+
 // Observer is the engine-wide trace collector. All methods are safe for
 // concurrent use, and all are nil-receiver safe: a nil Observer records
 // nothing and costs one pointer test per hook.
 type Observer struct {
 	cap   int
 	rings [maxTracks]ring
+
+	// sink, when set, sees every recorded event (stored as *Sink so the
+	// hot path is one atomic load).
+	sink atomic.Pointer[Sink]
 
 	// counts survive ring overwrites: total events recorded per kind.
 	counts [numKinds]atomic.Int64
@@ -278,6 +309,22 @@ func (o *Observer) Record(e Event) {
 		o.counts[e.Kind].Add(1)
 	}
 	o.rings[track(e.Node)].record(o.cap, e)
+	if s := o.sink.Load(); s != nil {
+		(*s).OnEvent(e)
+	}
+}
+
+// SetSink installs (or, with nil, removes) the event sink. The sink sees
+// every subsequent Record call synchronously on the recording goroutine.
+func (o *Observer) SetSink(s Sink) {
+	if o == nil {
+		return
+	}
+	if s == nil {
+		o.sink.Store(nil)
+		return
+	}
+	o.sink.Store(&s)
 }
 
 // Instant records a point event at simulated time sim on node's track.

@@ -58,11 +58,85 @@ func TestHistogramEdgeCases(t *testing.T) {
 	if s := h.Snapshot(); s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min != 0 {
 		t.Errorf("empty histogram not zero-valued: %+v", s)
 	}
+	// Every quantile of an empty histogram is zero, including the extremes.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Snapshot().Quantile(q); got != 0 {
+			t.Errorf("empty q%.2f = %d", q, got)
+		}
+	}
 	h.Observe(-5) // clamps to 0
 	h.Observe(0)
 	s := h.Snapshot()
 	if s.Count != 2 || s.Min != 0 || s.Max != 0 || s.Sum != 0 {
 		t.Errorf("clamped observations: %+v", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram("single_ns")
+	h.Observe(777)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 777 || s.Max != 777 || s.Sum != 777 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	// With one sample, every quantile collapses onto it: interpolation
+	// inside the bucket must clamp to the observed [Min, Max].
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := s.Quantile(q); got != 777 {
+			t.Errorf("q%.2f = %d, want 777", q, got)
+		}
+	}
+	if s.Mean() != 777 {
+		t.Errorf("mean = %d", s.Mean())
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	// lo's samples live in the single-digit buckets, hi's five orders of
+	// magnitude up — no bucket overlaps. The merge must preserve both modes
+	// exactly: counts add, the min comes from lo, the max from hi, and the
+	// extreme quantiles land in the respective modes.
+	lo := NewHistogram("merge_ns")
+	for v := int64(2); v <= 8; v++ {
+		lo.Observe(v)
+	}
+	hi := NewHistogram("ignored")
+	for v := int64(1 << 20); v < 1<<20+7; v++ {
+		hi.Observe(v)
+	}
+	lo.Merge(hi.Snapshot())
+	s := lo.Snapshot()
+	if s.Count != 14 || s.Min != 2 || s.Max != 1<<20+6 {
+		t.Fatalf("merged snapshot: %+v", s)
+	}
+	var want int64
+	for v := int64(2); v <= 8; v++ {
+		want += v
+	}
+	for v := int64(1 << 20); v < 1<<20+7; v++ {
+		want += v
+	}
+	if s.Sum != want {
+		t.Errorf("sum = %d, want %d", s.Sum, want)
+	}
+	if q := s.Quantile(0.05); q < 2 || q > 8 {
+		t.Errorf("q0.05 = %d, want in the low mode [2, 8]", q)
+	}
+	if q := s.Quantile(0.95); q < 1<<20 || q > 1<<20+6 {
+		t.Errorf("q0.95 = %d, want in the high mode", q)
+	}
+	// Merging an empty snapshot is a no-op.
+	before := s
+	lo.Merge(NewHistogram("empty").Snapshot())
+	if after := lo.Snapshot(); after != before {
+		t.Errorf("empty merge changed state: %+v -> %+v", before, after)
+	}
+	// Merging into an empty histogram adopts the snapshot wholesale,
+	// including Min (the empty side's zero Min must not win).
+	fresh := NewHistogram("fresh_ns")
+	fresh.Merge(s)
+	if got := fresh.Snapshot(); got.Min != 2 || got.Count != 14 || got.Max != s.Max {
+		t.Errorf("merge into empty: %+v", got)
 	}
 }
 

@@ -1,0 +1,182 @@
+// Package obscli is the one place the commands wire the observability
+// stack: every cmd calls AddFlags for the shared -trace / -metrics / -http /
+// -flightdir flag set, Build to materialise the enabled pieces, Attach on
+// each recovery.DB it constructs, and Finish at exit. Keeping the wiring
+// here means the three binaries cannot drift apart in which observability
+// surface they expose.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"smdb/internal/obs"
+	"smdb/internal/obs/deps"
+	"smdb/internal/recovery"
+)
+
+// Flags holds the parsed shared observability flags. Zero values mean the
+// corresponding surface stays off; with every flag off Build returns a stack
+// whose Attach and Finish are no-ops, so callers never branch.
+type Flags struct {
+	Trace     string        // -trace: Chrome trace-event JSON output path
+	Metrics   bool          // -metrics: print the metrics table at exit
+	HTTP      string        // -http: live introspection listen address
+	HTTPHold  time.Duration // -httphold: keep serving this long after the run
+	FlightDir string        // -flightdir: crash flight-recorder dump root
+	FlightN   int           // -flightn: per-node event tail in each dump
+}
+
+// AddFlags registers the shared observability flag set on fs (the command's
+// flag.CommandLine in practice) and returns the destination struct; read it
+// after fs.Parse.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print the observability metrics after the run")
+	fs.StringVar(&f.HTTP, "http", "", "serve live introspection (/metrics /trace /deps /healthz /debug/pprof) on this address, e.g. 127.0.0.1:8321")
+	fs.DurationVar(&f.HTTPHold, "httphold", 0, "keep the -http server alive this long after the run finishes")
+	fs.StringVar(&f.FlightDir, "flightdir", "", "write crash flight-recorder dumps under this directory")
+	fs.IntVar(&f.FlightN, "flightn", obs.DefaultFlightEvents, "events retained per node in each flight dump")
+	return f
+}
+
+// Enabled reports whether any observability surface was requested.
+func (f *Flags) Enabled() bool {
+	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != ""
+}
+
+// Stack is the assembled observability stack for one command run. The
+// commands that sweep seeds build a fresh recovery.DB per seed; the stack's
+// observer, flight recorder, and HTTP server outlive every DB, while the
+// dependency tracker is per-DB and swapped in by Attach — the HTTP /deps
+// endpoint always renders the current one.
+type Stack struct {
+	Obs    *obs.Observer
+	Flight *obs.FlightRecorder
+	HTTP   *obs.HTTPServer
+	flags  *Flags
+	cur    atomic.Pointer[deps.Tracker]
+}
+
+// WriteDOT renders the current DB's dependency graph; before the first
+// Attach it renders the empty graph. Stack is the GraphWriter handed to the
+// HTTP server and flight recorder, so both follow tracker swaps.
+func (s *Stack) WriteDOT(w io.Writer) error { return s.cur.Load().WriteDOT(w) }
+
+// WriteGraphJSON is the JSON twin of WriteDOT.
+func (s *Stack) WriteGraphJSON(w io.Writer) error { return s.cur.Load().WriteGraphJSON(w) }
+
+// Tracker returns the dependency tracker from the most recent Attach (nil
+// before the first).
+func (s *Stack) Tracker() *deps.Tracker { return s.cur.Load() }
+
+// Build assembles the stack the flags ask for. With nothing enabled it
+// returns an inert stack: Obs stays nil, so every engine-side hook keeps its
+// nil-receiver fast path. Build fails only on unusable -http / -flightdir
+// values, before any workload runs.
+func (f *Flags) Build() (*Stack, error) {
+	s := &Stack{flags: f}
+	if !f.Enabled() {
+		return s, nil
+	}
+	s.Obs = obs.New()
+	if f.FlightDir != "" {
+		if err := os.MkdirAll(f.FlightDir, 0o755); err != nil {
+			return nil, fmt.Errorf("-flightdir: %w", err)
+		}
+		s.Flight = obs.NewFlightRecorder(f.FlightDir, f.FlightN)
+	}
+	if f.HTTP != "" {
+		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s)
+		if err != nil {
+			return nil, fmt.Errorf("-http: %w", err)
+		}
+		s.HTTP = srv
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (metrics, trace, deps, healthz, pprof)\n", srv.Addr)
+	}
+	return s, nil
+}
+
+// Attach wires the stack into one recovery.DB: observer, a fresh dependency
+// tracker (echoing edges back into the observer's event stream), and the
+// flight recorder. Safe to call once per DB in a sweep; the stack's
+// aggregate surfaces (HTTP, trace file) keep accumulating across them. The
+// returned tracker is nil when the stack is disabled — every call site is
+// nil-safe.
+func (s *Stack) Attach(db *recovery.DB) *deps.Tracker {
+	if s.Obs == nil {
+		return nil
+	}
+	t := deps.New(s.Obs)
+	db.AttachObserver(s.Obs)
+	db.AttachDeps(t)
+	s.cur.Store(t)
+	if s.Flight != nil {
+		db.SetFlightRecorder(s.Flight)
+	}
+	return t
+}
+
+// Finish emits the end-of-run surfaces: the metrics table when -metrics, the
+// Chrome trace file when -trace, and an -httphold grace period before the
+// introspection server shuts down. Call exactly once, after the workload.
+func (s *Stack) Finish(out io.Writer) error {
+	if s.Obs == nil {
+		return nil
+	}
+	if s.flags.Metrics {
+		fmt.Fprintln(out)
+		if err := s.Obs.MetricsTable(out); err != nil {
+			return err
+		}
+	}
+	if s.flags.Trace != "" {
+		f, err := os.Create(s.flags.Trace)
+		if err != nil {
+			return err
+		}
+		if err := s.Obs.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (load at ui.perfetto.dev)\n", s.flags.Trace)
+	}
+	if s.HTTP != nil {
+		if s.flags.HTTPHold > 0 {
+			fmt.Fprintf(os.Stderr, "introspection: holding http://%s/ for %s\n", s.HTTP.Addr, s.flags.HTTPHold)
+			time.Sleep(s.flags.HTTPHold)
+		}
+		s.HTTP.Shutdown()
+	}
+	return nil
+}
+
+// PrintVerdicts renders the explainer verdicts accumulated by the current
+// dependency tracker — the per-transaction crash-time story (crashed victim
+// log coverage, survivor loss coverage, doomed unlogged dependencies). A
+// disabled stack prints nothing.
+func (s *Stack) PrintVerdicts(out io.Writer) {
+	t := s.cur.Load()
+	if t == nil {
+		return
+	}
+	vs := t.Verdicts()
+	if len(vs) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\ndependency explainer (%d verdicts):\n", len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(out, "  %s\n", v.Text)
+		for _, e := range v.Evidence {
+			fmt.Fprintf(out, "    %s\n", e)
+		}
+	}
+}

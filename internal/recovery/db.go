@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +12,7 @@ import (
 	"smdb/internal/lock"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/deps"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -204,9 +206,19 @@ type DB struct {
 	// obs is the attached observability layer (nil when disabled; all its
 	// methods are nil-safe).
 	obs *obs.Observer
+	// deps is the attached dependency-graph tracker (nil when disabled;
+	// nil-safe); see AttachDeps.
+	deps *deps.Tracker
+	// flight is the attached crash flight recorder (nil when disabled;
+	// nil-safe); see SetFlightRecorder.
+	flight *obs.FlightRecorder
 	// fault is the attached chaos injector (nil when chaos is off); see
 	// AttachFaults.
 	fault *fault.Injector
+	// flightPending is set by noteCrash (no file I/O may run there — the
+	// machine lock is held) and consumed at Recover entry, which writes the
+	// pending crash dump.
+	flightPending atomic.Bool
 	// crashSim records the simulated time of the first unrecovered crash,
 	// so restart recovery can report the freeze span (crash -> recovery
 	// start). Reset by Recover.
@@ -296,6 +308,81 @@ func (db *DB) Observer() *obs.Observer {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.obs
+}
+
+// AttachDeps wires a dependency-graph tracker: it becomes the observer's
+// event sink (so coherency, WAL, and txn-lifecycle events flow into it) and
+// receives the recovery layer's direct write/crash/recovered notifications.
+// Call after AttachObserver — the tracker needs the event stream to maintain
+// line residency. Passing nil detaches.
+func (db *DB) AttachDeps(t *deps.Tracker) {
+	db.mu.Lock()
+	db.deps = t
+	o := db.obs
+	db.mu.Unlock()
+	if o != nil {
+		if t == nil {
+			o.SetSink(nil)
+		} else {
+			o.SetSink(t)
+		}
+	}
+}
+
+// Deps returns the attached dependency tracker (nil when disabled).
+func (db *DB) Deps() *deps.Tracker {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deps
+}
+
+// SetFlightRecorder wires a crash flight recorder: on every node crash a
+// post-mortem dump (last-N events per node, dependency graph, stats deltas
+// since the previous dump) is written at the next Recover entry, and
+// harnesses call DumpFlight on IFA-check failures. Call after AttachObserver
+// and AttachDeps so the recorder sees both. Passing nil detaches.
+func (db *DB) SetFlightRecorder(r *obs.FlightRecorder) {
+	db.mu.Lock()
+	db.flight = r
+	o := db.obs
+	t := db.deps
+	db.mu.Unlock()
+	if r == nil {
+		return
+	}
+	var g obs.GraphWriter
+	if t != nil {
+		g = t
+	}
+	// Stats writer: machine + protocol counters as deltas since the last
+	// dump, so each dump reads as "what happened since the previous one".
+	var prevM machine.Stats
+	var prevP Stats
+	var prevMu sync.Mutex
+	r.SetSources(o, g, func(w io.Writer) error {
+		curM := db.M.Stats()
+		curP := db.Stats()
+		prevMu.Lock()
+		dM := curM.Sub(prevM)
+		dP := curP.Sub(prevP)
+		prevM, prevP = curM, curP
+		prevMu.Unlock()
+		fmt.Fprintf(w, "machine stats delta: %+v\n\nprotocol stats delta: %+v\n", dM, dP)
+		return nil
+	})
+}
+
+// FlightRecorder returns the attached flight recorder (nil when disabled).
+func (db *DB) FlightRecorder() *obs.FlightRecorder {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flight
+}
+
+// DumpFlight writes a flight-recorder dump with the given reason, returning
+// its directory. A detached recorder returns ("", nil).
+func (db *DB) DumpFlight(reason string) (string, error) {
+	return db.FlightRecorder().Dump(reason)
 }
 
 // Stats returns a snapshot of the protocol counters.

@@ -89,7 +89,27 @@ func (db *DB) noteCrash(rep machine.CrashReport) {
 			}
 		}
 	}
+	dt := db.deps
+	fl := db.flight
 	db.mu.Unlock()
+	if dt != nil {
+		// The tracker computes IFA-explainer verdicts against the exact
+		// crash-instant state; like everything in this callback it must not
+		// call back into the machine (the machine lock is held).
+		crashed := make([]int32, len(rep.Crashed))
+		for i, n := range rep.Crashed {
+			crashed[i] = int32(n)
+		}
+		lost := make([]int32, len(rep.LostLines))
+		for i, l := range rep.LostLines {
+			lost[i] = int32(l)
+		}
+		dt.NoteCrash(crashed, lost, db.M.MaxClock())
+	}
+	if fl != nil {
+		// No file I/O under the machine lock: Recover writes the dump.
+		db.flightPending.Store(true)
+	}
 }
 
 // forceThrough forces node nd's log through lsn, charging simulated force

@@ -92,6 +92,14 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	startClock := db.M.MaxClock()
 	o := db.Observer()
 
+	// A crash left a flight-recorder dump pending (noteCrash runs under the
+	// machine lock and may not touch files); write the post-mortem now,
+	// before recovery mutates the crash-instant state. Best effort: a dump
+	// I/O failure must not block recovery.
+	if db.flightPending.Swap(false) {
+		_, _ = db.DumpFlight("crash")
+	}
+
 	// The freeze span covers crash-to-recovery-start: transactions that hit
 	// the failed domain stall while the system decides to recover.
 	if cs := db.crashSim.Swap(0); cs > 0 && cs <= startClock {
@@ -114,8 +122,12 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 			return nil, err
 		}
 		db.crashSim.Store(0) // baselineReboot crashes the rest internally
+		if db.flightPending.Swap(false) {
+			_, _ = db.DumpFlight("crash")
+		}
 		rep.SimTime = db.M.MaxClock() - startClock
 		o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
+		db.noteRecovered(rep)
 		return rep, nil
 	}
 
@@ -141,6 +153,9 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		// A node died under recovery's feet; fold the new victims into the
 		// reported crash set and re-enter with a fresh coordinator.
 		rep.Crashed = mergeNodes(rep.Crashed, db.downNodes())
+		if db.flightPending.Swap(false) {
+			_, _ = db.DumpFlight("crash-in-recovery")
+		}
 	}
 	sortTxns(rep.Aborted)
 	db.bump(func(s *Stats) {
@@ -153,7 +168,23 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	db.crashSim.Store(0) // mid-recovery crashes were handled in-line
 	rep.SimTime = db.M.MaxClock() - startClock
 	o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
+	db.noteRecovered(rep)
 	return rep, nil
+}
+
+// noteRecovered tells the dependency tracker which crash victims recovery
+// aborted (the rest settled as stable-committed), closing the crash episode
+// in the tracker's graph.
+func (db *DB) noteRecovered(rep *RecoveryReport) {
+	dt := db.Deps()
+	if dt == nil {
+		return
+	}
+	aborted := make([]int64, len(rep.Aborted))
+	for i, t := range rep.Aborted {
+		aborted[i] = int64(t)
+	}
+	dt.NoteRecovered(aborted)
 }
 
 // recoverOnce is one attempt at the IFA restart-recovery sequence. Counters

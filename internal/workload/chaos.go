@@ -2,10 +2,12 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"smdb/internal/fault"
 	"smdb/internal/machine"
+	"smdb/internal/obs/deps"
 	"smdb/internal/recovery"
 )
 
@@ -33,13 +35,28 @@ type ChaosResult struct {
 	// Violations holds every IFA-checker complaint, prefixed with its
 	// episode (empty = the protocol survived the whole schedule).
 	Violations []string
+	// Explainer cross-check, populated when a dependency tracker is
+	// attached (db.AttachDeps): Verdicts counts IFA-explainer verdicts
+	// consumed, DoomedVerdicts the survivor verdicts predicting an unlogged
+	// lost update (the no-LBM hazard; structurally impossible under real
+	// protocols), and ExplainMismatches every disagreement between the
+	// explainer and the IFA checker — recovery aborts with no crashed-node
+	// verdict, doomed predictions under an IFA protocol, or checker-found
+	// survivor losses the explainer missed.
+	Verdicts, DoomedVerdicts int
+	ExplainMismatches        []string
 }
 
 func (r ChaosResult) String() string {
-	return fmt.Sprintf("seed=%d episodes=%d crashes=%d (forced=%d) torn=%d recoveryCrashes=%d ioErrors=%d attempts=%d failovers=%d committed=%d aborted=%d violations=%d",
+	s := fmt.Sprintf("seed=%d episodes=%d crashes=%d (forced=%d) torn=%d recoveryCrashes=%d ioErrors=%d attempts=%d failovers=%d committed=%d aborted=%d violations=%d",
 		r.Seed, r.Episodes, r.CrashesInjected, r.ForcedCrashes, r.TornForces,
 		r.RecoveryCrashes, r.IOErrors, r.RecoveryAttempts, r.CoordinatorFailovers,
 		r.Committed, r.Aborted, len(r.Violations))
+	if r.Verdicts > 0 {
+		s += fmt.Sprintf(" verdicts=%d doomed=%d mismatches=%d",
+			r.Verdicts, r.DoomedVerdicts, len(r.ExplainMismatches))
+	}
+	return s
 }
 
 // chaosDownNodes lists the currently dead nodes.
@@ -161,8 +178,15 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 		}
 
 		coord := db.M.AliveNodes()[0]
-		for _, v := range db.CheckIFA(coord) {
+		epViolations := db.CheckIFA(coord)
+		for _, v := range epViolations {
 			res.Violations = append(res.Violations, fmt.Sprintf("episode %d: %s", ep, v))
+		}
+		crossCheckExplainer(db, rep, epViolations, ep, &res)
+		if len(epViolations) > 0 {
+			// A checker violation is exactly what the flight recorder exists
+			// for: preserve the evidence before the episode state is reset.
+			_, _ = db.DumpFlight(fmt.Sprintf("ifa-violation-ep%d", ep))
 		}
 		for _, n := range chaosDownNodes(db) {
 			if err := db.RestartNode(n); err != nil {
@@ -177,4 +201,70 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 	res.RecoveryCrashes = st.RecoveryCrashes
 	res.IOErrors = st.IOErrors
 	return res, nil
+}
+
+// crossCheckExplainer reconciles the dependency tracker's IFA-explainer
+// verdicts (computed independently at crash instants, from the coherency
+// event stream) against ground truth: the recovery report's abort set and the
+// IFA checker's violations. A disagreement in either direction is recorded as
+// an ExplainMismatch. No-op when no tracker is attached.
+func crossCheckExplainer(db *recovery.DB, rep *recovery.RecoveryReport, violations []string, ep int, res *ChaosResult) {
+	tr := db.Deps()
+	if tr == nil {
+		return
+	}
+	vs := tr.TakeVerdicts()
+	res.Verdicts += len(vs)
+	// An episode can contain several crashes (recovery-time crashes retry),
+	// each producing a verdict batch; the latest verdict per transaction is
+	// the one that saw the most state, so it wins.
+	byTxn := make(map[int64]deps.Verdict, len(vs))
+	doomed := 0
+	for _, v := range vs {
+		byTxn[v.Txn] = v
+		if v.Doomed {
+			doomed++
+		}
+	}
+	res.DoomedVerdicts += doomed
+	mism := func(format string, args ...any) {
+		res.ExplainMismatches = append(res.ExplainMismatches,
+			fmt.Sprintf("episode %d: ", ep)+fmt.Sprintf(format, args...))
+	}
+
+	// Rule 1: every transaction recovery aborted was on a crashed node, so
+	// the explainer must have issued it a crashed-node verdict.
+	for _, t := range rep.Aborted {
+		v, ok := byTxn[int64(t)]
+		switch {
+		case !ok:
+			mism("recovery aborted %v but the explainer issued no verdict for it", t)
+		case !v.Crashed:
+			mism("recovery aborted %v but the explainer classified it a survivor: %s", t, v.Text)
+		}
+	}
+
+	// Rule 2: a doomed-survivor verdict means an update with no log record
+	// was destroyed — structurally impossible under any protocol that logs
+	// before migration. Predicting one under an IFA protocol is a tracker bug.
+	if db.Cfg.Protocol.IFA() {
+		for _, v := range vs {
+			if v.Doomed {
+				mism("IFA protocol %v predicted a doomed survivor: %s", db.Cfg.Protocol, v.Text)
+			}
+		}
+	}
+
+	// Rule 3: conversely, when the checker catches a survivor's lost update
+	// (the no-LBM hazard the ablated control exists to exhibit), the explainer
+	// must have predicted at least one doomed survivor this episode.
+	lost := 0
+	for _, viol := range violations {
+		if strings.Contains(viol, "update lost") {
+			lost++
+		}
+	}
+	if lost > 0 && doomed == 0 {
+		mism("checker found %d lost survivor update(s) but the explainer predicted none", lost)
+	}
 }
