@@ -132,6 +132,30 @@ func BenchmarkRestartRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelRecovery regenerates experiment E18: host wall-clock
+// makespan of restart recovery as the worker fan-out grows on a
+// multi-survivor config. Recovery work is worker-invariant (the equivalence
+// gate in internal/recovery); the reported speedup/N metrics are host
+// wall-clock and therefore bounded by GOMAXPROCS — the ≥2x-at-4-workers
+// expectation applies on hosts with GOMAXPROCS >= 4.
+func BenchmarkParallelRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunParRecovery(int64(i+1), []int{0, 1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable(b, "parrecovery", res.Table())
+			for _, p := range res.Points {
+				if p.Protocol != recovery.VolatileSelectiveRedo || p.Workers == 0 {
+					continue
+				}
+				b.ReportMetric(p.Speedup, metricName("speedup/"+string('0'+byte(p.Workers))+"-workers"))
+			}
+		}
+	}
+}
+
 // BenchmarkLogForceFrequency regenerates experiment E6: physical log-force
 // frequency of eager vs triggered Stable LBM vs Volatile LBM as inter-node
 // sharing grows.

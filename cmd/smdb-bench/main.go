@@ -36,6 +36,10 @@ type experiment struct {
 	run    func(seed int64, o *obs.Observer) (string, error)
 }
 
+// obsFlags is set in main before any experiment runs; the E18 closure reads
+// the -recoverworkers knob from it.
+var obsFlags *obscli.Flags
+
 var experiments = []experiment{
 	{"table1", "E1", "incremental overheads of the IFA protocols", "Table 1",
 		func(seed int64, _ *obs.Observer) (string, error) {
@@ -169,6 +173,20 @@ var experiments = []experiment{
 			}
 			return res.Table(), nil
 		}},
+	{"parrecovery", "E18", "sequential vs parallel restart-recovery makespan", "section 4.1.2 (node-parallel restart), this implementation's worker pipeline",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			// -recoverworkers narrows the sweep to sequential vs that
+			// fan-out; unset, the standard 0/1/2/4/8 sweep runs.
+			var workers []int
+			if obsFlags.RecoverWorkers > 0 {
+				workers = []int{0, obsFlags.RecoverWorkers}
+			}
+			res, err := harness.RunParRecovery(seed, workers)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
 }
 
 func expNames() []string {
@@ -188,7 +206,7 @@ func usage() {
 func main() {
 	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(expNames(), ", ")+")")
 	seed := flag.Int64("seed", 1, "workload seed")
-	obsFlags := obscli.AddFlags(flag.CommandLine)
+	obsFlags = obscli.AddFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 

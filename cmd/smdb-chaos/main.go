@@ -99,12 +99,13 @@ func main() {
 	for i := 0; i < *seeds; i++ {
 		s := *seed + int64(i)
 		db, err := recovery.New(recovery.Config{
-			Machine:        machine.Config{Nodes: *nodes, Lines: 4096},
-			Protocol:       proto,
-			LinesPerPage:   4,
-			RecsPerLine:    4,
-			Pages:          16,
-			LockTableLines: 128,
+			Machine:         machine.Config{Nodes: *nodes, Lines: 4096},
+			Protocol:        proto,
+			LinesPerPage:    4,
+			RecsPerLine:     4,
+			Pages:           16,
+			LockTableLines:  128,
+			RecoveryWorkers: obsFlags.RecoverWorkers,
 		})
 		if err != nil {
 			fatal(err)

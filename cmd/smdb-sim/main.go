@@ -76,11 +76,12 @@ func main() {
 	}
 
 	db, err := recovery.New(recovery.Config{
-		Machine:     machine.Config{Nodes: *nodes, Coherency: coh},
-		Protocol:    proto,
-		RecsPerLine: *recsPerLine,
-		Pages:       32,
-		ChainedLCBs: *chained,
+		Machine:         machine.Config{Nodes: *nodes, Coherency: coh},
+		Protocol:        proto,
+		RecsPerLine:     *recsPerLine,
+		Pages:           32,
+		ChainedLCBs:     *chained,
+		RecoveryWorkers: obsFlags.RecoverWorkers,
 	})
 	if err != nil {
 		fatal(err)

@@ -6,6 +6,12 @@ package machine
 // destroyed; and the interconnect restores the cache directories to a
 // consistent state reflecting the surviving caches. Software recovery — the
 // paper's actual contribution — runs on top of this.
+//
+// Under the striped line directory, Crash quiesces the whole machine: it
+// takes liveMu (ordering it against Restart and other Crash calls) and then
+// every stripe in ascending index order, so the liveness flip, the directory
+// sweep, and the crashNotify callback are a single atomic step with respect
+// to all line operations — the guarantee the old global mutex provided.
 
 import (
 	"sync/atomic"
@@ -32,33 +38,45 @@ type CrashReport struct {
 // restored to a consistent state. Crash is idempotent for already-down
 // nodes. It returns a report of the lines destroyed and orphaned.
 func (m *Machine) Crash(nodes ...NodeID) CrashReport {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.crashLocked(nodes)
-}
-
-// crashLocked is Crash with m.mu held, so an injected transition fault can
-// crash a node from inside a coherency operation.
-func (m *Machine) crashLocked(nodes []NodeID) CrashReport {
-	var rep CrashReport
-	var down bitset
-	for _, n := range nodes {
-		if n < 0 || int(n) >= len(m.alive) || !m.alive[n] {
-			continue
-		}
-		m.alive[n] = false
-		m.stats.Crashes++
-		down.add(n)
-		rep.Crashed = append(rep.Crashed, n)
+	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
+	for i := range m.stripes {
+		m.stripes[i].mu.Lock()
 	}
-	if down.empty() {
+	defer func() {
 		// Even an idempotent re-crash must wake line-lock waiters: a waiter
 		// may be blocked on a lock whose owner died in the *first* crash of
 		// this node, and the wake-up is how it learns to re-check liveness.
-		m.cond.Broadcast()
+		for i := range m.stripes {
+			m.stripes[i].cond.Broadcast()
+		}
+		for i := len(m.stripes) - 1; i >= 0; i-- {
+			m.stripes[i].mu.Unlock()
+		}
+	}()
+	return m.crashQuiesced(nodes)
+}
+
+// crashQuiesced performs the crash with liveMu and every stripe held.
+func (m *Machine) crashQuiesced(nodes []NodeID) CrashReport {
+	var rep CrashReport
+	var down bitset
+	mask := m.aliveMask.Load()
+	for _, n := range nodes {
+		if n < 0 || int(n) >= m.cfg.Nodes || mask&(1<<uint(n)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(n)
+		atomic.AddInt64(&m.stats.Crashes, 1)
+		down.add(n)
+		rep.Crashed = append(rep.Crashed, n)
+	}
+	m.aliveMask.Store(mask)
+	if down.empty() {
 		return rep
 	}
-	for i := LineID(0); i < m.next; i++ {
+	frontier := m.frontier()
+	for i := LineID(0); i < frontier; i++ {
 		ln := &m.lines[i]
 		// Break line locks held by crashed nodes so survivors blocked in
 		// GetLine can proceed (the low-level recovery interrupts all CPUs
@@ -90,52 +108,87 @@ func (m *Machine) crashLocked(nodes []NodeID) CrashReport {
 			for j := range ln.data {
 				ln.data[j] = 0
 			}
-			m.stats.LinesLost++
+			atomic.AddInt64(&m.stats.LinesLost, 1)
 			rep.LostLines = append(rep.LostLines, i)
 		} else {
 			rep.OrphanedLines = append(rep.OrphanedLines, i)
 		}
 	}
 	for _, n := range rep.Crashed {
-		m.traceLocked(obs.KindCrash, n, int64(len(rep.LostLines)), int64(len(rep.OrphanedLines)))
+		m.trace(obs.KindCrash, n, int64(len(rep.LostLines)), int64(len(rep.OrphanedLines)))
 	}
-	if m.crashNotify != nil {
-		m.crashNotify(rep)
+	if hk := m.hooks.Load(); hk.crashNotify != nil {
+		hk.crashNotify(rep)
 	}
-	m.cond.Broadcast()
 	return rep
+}
+
+// consultFault asks the injected transition-fault hook, with the line's
+// stripe held, which nodes should crash at this transition, and traces the
+// injection instants. The crash itself is applied by applyFault once the
+// caller releases its stripe: executing the sweep from inside a line
+// operation would mean taking every stripe while holding one, which
+// deadlocks against a concurrent injector on another stripe. The observable
+// difference from the old in-line crash is only that the triggering
+// operation's own effect lands before the victims die — and since after a
+// migrate/invalidate transition the initiator is the line's sole holder,
+// a crash of the initiator still destroys that effect, while a crash of
+// the old holder was already past influencing it.
+func (m *Machine) consultFault(ev Event) []NodeID {
+	hk := m.hooks.Load()
+	if hk.transitionFault == nil {
+		return nil
+	}
+	victims := hk.transitionFault(ev, m.aliveCount())
+	if len(victims) == 0 {
+		return nil
+	}
+	for _, v := range victims {
+		m.trace(obs.KindFault, v, int64(ev.Line), int64(ev.Kind))
+	}
+	return victims
+}
+
+// applyFault crashes the victims collected by consultFault, after the
+// triggering operation has released its stripe. It returns ErrNodeDown if
+// the initiating node nd itself was taken down, so the caller reports its
+// operation as lost with the node.
+func (m *Machine) applyFault(victims []NodeID, nd NodeID) error {
+	if len(victims) == 0 {
+		return nil
+	}
+	m.Crash(victims...)
+	if !m.Alive(nd) {
+		return ErrNodeDown
+	}
+	return nil
 }
 
 // Restart brings a crashed node back up with a cold (empty) cache. Its
 // simulated clock is advanced to the maximum across nodes, modelling the
 // repair delay.
 func (m *Machine) Restart(n NodeID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if n < 0 || int(n) >= len(m.alive) {
+	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
+	if n < 0 || int(n) >= m.cfg.Nodes {
 		return ErrBadAddress
 	}
-	if m.alive[n] {
+	mask := m.aliveMask.Load()
+	if mask&(1<<uint(n)) != 0 {
 		return nil
 	}
-	m.alive[n] = true
-	var max int64
-	for i := range m.clocks {
-		if c := atomic.LoadInt64(&m.clocks[i]); c > max {
-			max = c
-		}
-	}
-	atomic.StoreInt64(&m.clocks[n], max)
+	m.aliveMask.Store(mask | 1<<uint(n))
+	maxStoreInt64(&m.clocks[n], m.MaxClock())
 	return nil
 }
 
 // AliveNodes returns the IDs of all live nodes in ascending order.
+// Lock-free.
 func (m *Machine) AliveNodes() []NodeID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]NodeID, 0, len(m.alive))
-	for i, a := range m.alive {
-		if a {
+	mask := m.aliveMask.Load()
+	out := make([]NodeID, 0, m.cfg.Nodes)
+	for i := 0; i < m.cfg.Nodes; i++ {
+		if mask&(1<<uint(i)) != 0 {
 			out = append(out, NodeID(i))
 		}
 	}

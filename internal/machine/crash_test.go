@@ -12,9 +12,10 @@ func waitForWaiters(t *testing.T, m *Machine, l LineID, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		m.mu.Lock()
+		s := m.stripeOf(l)
+		s.mu.Lock()
 		got := m.lines[l].lock.waiters
-		m.mu.Unlock()
+		s.mu.Unlock()
 		if got >= n {
 			return
 		}

@@ -7,6 +7,10 @@ package machine
 // atomic with respect to cache-line migration. This is the mechanism that
 // makes Volatile LBM nearly free (section 5.1) and that enforces the ordered
 // update logging rule (section 6).
+//
+// Lock waiters block on the per-stripe condition variable; ReleaseLine wakes
+// its own stripe's waiters, and Crash (which holds every stripe) wakes all
+// of them so they re-check node liveness and line validity.
 
 import (
 	"sync/atomic"
@@ -21,34 +25,47 @@ import (
 // chained through earlier holders (which is what produces the paper's
 // contention curve).
 func (m *Machine) GetLine(nd NodeID, l LineID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.checkLine(l); err != nil {
 		return err
 	}
-	if !m.aliveLocked(nd) {
-		return ErrNodeDown
+	victims, err := m.getLineLocked(nd, l)
+	if err != nil {
+		return err
+	}
+	// If an injected fault named nd itself, the crash sweep below breaks
+	// the lock nd just acquired, so the error return leaves no dangling
+	// ownership — same observable outcome as the old order, which crashed
+	// before recording ownership.
+	return m.applyFault(victims, nd)
+}
+
+func (m *Machine) getLineLocked(nd NodeID, l LineID) ([]NodeID, error) {
+	s := m.stripeOf(l)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !m.Alive(nd) {
+		return nil, ErrNodeDown
 	}
 	ln := &m.lines[l]
 	if !ln.valid {
-		return ErrLineLost
+		return nil, ErrLineLost
 	}
-	m.stats.LineLockAcquires++
+	atomic.AddInt64(&m.stats.LineLockAcquires, 1)
 	entry := atomic.LoadInt64(&m.clocks[nd])
 	contended := ln.lock.held
 	if contended {
-		m.stats.LineLockContended++
+		atomic.AddInt64(&m.stats.LineLockContended, 1)
 	}
 	ln.lock.waiters++
 	for ln.lock.held {
-		m.cond.Wait()
-		if !m.aliveLocked(nd) {
+		s.cond.Wait()
+		if !m.Alive(nd) {
 			ln.lock.waiters--
-			return ErrNodeDown
+			return nil, ErrNodeDown
 		}
 		if !ln.valid {
 			ln.lock.waiters--
-			return ErrLineLost
+			return nil, ErrLineLost
 		}
 	}
 	ln.lock.waiters--
@@ -69,65 +86,61 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 	if ln.excl != NoNode && ln.excl != nd {
 		from := ln.excl
 		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
-			return err
+			return nil, err
 		}
-		m.stats.Migrations++
+		atomic.AddInt64(&m.stats.Migrations, 1)
 		ln.holders = 0
-		m.traceLocked(obs.KindMigrate, nd, int64(l), int64(from))
+		m.trace(obs.KindMigrate, nd, int64(l), int64(from))
 		fev = &Event{Line: l, Kind: EventMigrate, From: from, To: nd}
 	} else if !ln.holders.sole(nd) {
 		others := ln.holders
 		others.remove(nd)
 		if !others.empty() {
 			if err := m.fire(l, EventInvalidate, others.lowest(), nd, nd); err != nil {
-				return err
+				return nil, err
 			}
-			m.stats.Invalidations += int64(others.count())
-			m.traceLocked(obs.KindInvalidate, nd, int64(l), int64(others.count()))
+			atomic.AddInt64(&m.stats.Invalidations, int64(others.count()))
+			m.trace(obs.KindInvalidate, nd, int64(l), int64(others.count()))
 			fev = &Event{Line: l, Kind: EventInvalidate, From: others.lowest(), To: nd}
 		}
 		ln.holders = 0
 	}
 	ln.holders.add(nd)
 	ln.excl = nd
+	// Injected fault: the previous holder can die at the instant the
+	// line-locked acquisition migrates the line into nd's cache. The crash
+	// applies once the stripe is released (see GetLine above for the
+	// nd-is-a-victim case).
+	var victims []NodeID
 	if fev != nil {
-		// Injected fault: the previous holder can die at the instant the
-		// line-locked acquisition migrates the line into nd's cache (fired
-		// after the transfer, before nd records lock ownership; if nd
-		// itself died, it must not end up owning the lock).
-		if err := m.faultTransition(*fev, nd); err != nil {
-			return err
-		}
+		victims = m.consultFault(*fev)
 	}
 	ln.lock.held = true
 	ln.lock.owner = nd
-	atomic.StoreInt64(&m.clocks[nd], start+cost)
-	if m.obs != nil {
+	maxStoreInt64(&m.clocks[nd], start+cost)
+	if hk := m.hooks.Load(); hk.obs != nil {
 		// Acquisition latency is the simulated interval from the caller
 		// issuing GetLine to holding the lock: queueing delay (chained
 		// through freeAt) plus the acquire cost itself.
 		lat := start + cost - entry
-		m.obs.ObserveLineLock(lat)
+		hk.obs.ObserveLineLock(lat)
 		if contended {
-			m.obs.Instant(obs.KindLineLockWait, int32(nd), start+cost, int64(l), lat)
+			hk.obs.Instant(obs.KindLineLockWait, int32(nd), start+cost, int64(l), lat)
 		}
 	}
-	return nil
+	return victims, nil
 }
 
 // TryGetLine is GetLine without blocking: it reports false if the lock is
 // held by another node.
 func (m *Machine) TryGetLine(nd NodeID, l LineID) (bool, error) {
-	m.mu.Lock()
-	locked := false
 	if err := m.checkLine(l); err != nil {
-		m.mu.Unlock()
 		return false, err
 	}
-	if m.lines[l].lock.held && m.lines[l].lock.owner != nd {
-		locked = true
-	}
-	m.mu.Unlock()
+	s := m.stripeOf(l)
+	s.mu.Lock()
+	locked := m.lines[l].lock.held && m.lines[l].lock.owner != nd
+	s.mu.Unlock()
 	if locked {
 		return false, nil
 	}
@@ -139,11 +152,12 @@ func (m *Machine) TryGetLine(nd NodeID, l LineID) (bool, error) {
 
 // ReleaseLine releases the line lock on l held by node nd.
 func (m *Machine) ReleaseLine(nd NodeID, l LineID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.checkLine(l); err != nil {
 		return err
 	}
+	s := m.stripeOf(l)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ln := &m.lines[l]
 	if !ln.lock.held || ln.lock.owner != nd {
 		return ErrNotLockHolder
@@ -154,15 +168,19 @@ func (m *Machine) ReleaseLine(nd NodeID, l LineID) error {
 	// The lock becomes free, in simulated time, when the releasing node's
 	// clock reaches this instant; waiters chain their start times from it.
 	ln.lock.freeAt = atomic.LoadInt64(&m.clocks[nd])
-	m.cond.Broadcast()
+	s.cond.Broadcast()
 	return nil
 }
 
 // LineLockHeldBy returns the node holding the line lock on l, or NoNode.
 func (m *Machine) LineLockHeldBy(l LineID) NodeID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if l < 0 || int(l) >= len(m.lines) || !m.lines[l].lock.held {
+	if l < 0 || int(l) >= len(m.lines) {
+		return NoNode
+	}
+	s := m.stripeOf(l)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !m.lines[l].lock.held {
 		return NoNode
 	}
 	return m.lines[l].lock.owner

@@ -29,11 +29,30 @@
 // All operations advance a per-node simulated clock according to a CostModel,
 // so experiments can report latencies in simulated time with the shape (not
 // the absolute values) of the paper's 1995 hardware.
+//
+// # Concurrency model
+//
+// The line directory is sharded: all state of line l — its data, directory
+// entry, active bit, and line lock — is guarded by the stripe l hashes to,
+// and a line operation holds exactly one stripe for its duration. Operations
+// on lines in different stripes run in parallel on real CPUs, which is what
+// lets the parallel restart-recovery pipeline scale with the survivor count.
+// Per-node clocks, counters, and node liveness are atomics readable without
+// any lock. Whole-machine transitions (Crash) quiesce the machine by taking
+// every stripe in ascending order, so a crash and its notification callback
+// remain atomic with respect to all line traffic, exactly as under the old
+// single global mutex. What is *no longer* globally ordered: operations on
+// lines in different stripes have no defined mutual order, and an injected
+// transition fault (SetTransitionFault) crashes its victims immediately
+// *after* the triggering operation completes and releases its stripe rather
+// than from inside it — see consultFault in crash.go for why this preserves
+// the observable crash semantics.
 package machine
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -157,6 +176,26 @@ type line struct {
 	lock    lineLock
 }
 
+// stripeCount is the number of lock stripes sharding the line directory.
+// A power of two, so the stripe of a line is a mask of its LineID. 128
+// stripes keep contention negligible up to the 64-node machine maximum
+// while keeping Crash's take-all-stripes quiesce cheap.
+const stripeCount = 128
+
+// stripeMask extracts a LineID's stripe index.
+const stripeMask = stripeCount - 1
+
+// stripe is one shard of the line-directory lock. The cond wakes GetLine
+// waiters queued on lines of this stripe (on release and on crash).
+type stripe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pad the struct to a cache line so neighbouring stripes do not false-
+	// share on real hardware (the simulator's own scalability matters to
+	// the parallel-recovery experiments).
+	_ [48]byte
+}
+
 // EventKind classifies coherency-protocol transitions that can expose
 // uncommitted data to remote failure domains.
 type EventKind int
@@ -198,52 +237,76 @@ type Event struct {
 	To NodeID
 }
 
-// PreTransitionFunc is invoked, with the machine lock held, immediately
+// PreTransitionFunc is invoked, with the line's stripe lock held, immediately
 // before a coherency transition on a line whose active bit is set. It is the
 // software half of the section 5.2 hardware extension: the recovery policy
 // uses it to force log records to stable store before uncommitted data
 // becomes visible to (or dependent on) another failure domain. The returned
 // duration (simulated nanoseconds) is charged to the node that triggered the
-// transition. The callback must not call back into the Machine.
+// transition. The callback must not call back into the Machine except
+// through lock-free methods (Clock, MaxClock, Alive).
 type PreTransitionFunc func(ev Event) (cost int64, err error)
 
 // TransitionFaultFunc is the fault-injection hook: it is invoked, with the
-// machine lock held, immediately *after* every coherency transition (on any
-// line, active or not) and returns the nodes to crash at exactly that
-// instant — the hazard windows Logging-Before-Migration exists to cover.
-// alive is the current live-node count, so the injector can respect a
-// survivor floor. The hook must not call back into the Machine.
+// line's stripe lock held, immediately *after* every coherency transition (on
+// any line, active or not) and returns the nodes to crash at that instant —
+// the hazard windows Logging-Before-Migration exists to cover. alive is the
+// current live-node count, so the injector can respect a survivor floor. The
+// hook must not call back into the Machine. The crash itself is applied as
+// soon as the triggering operation completes and releases its stripe (see
+// the package comment on the concurrency model).
 type TransitionFaultFunc func(ev Event, alive int) []NodeID
+
+// hookSet bundles the rarely-mutated callbacks so line operations can load
+// all of them with a single atomic read. Set* methods copy-on-write under
+// hookMu; the stored pointer is never nil.
+type hookSet struct {
+	preTransition   PreTransitionFunc
+	transitionFault TransitionFaultFunc
+	crashNotify     func(CrashReport)
+	obs             *obs.Observer
+}
 
 // Machine is a simulated cache-coherent shared-memory multiprocessor.
 // All methods are safe for concurrent use by multiple goroutines.
 type Machine struct {
 	cfg Config
 
-	mu    sync.Mutex
-	cond  *sync.Cond // line-lock waiters
-	lines []line
-	alive []bool
-	// clocks are per-node simulated nanoseconds. Writes happen under m.mu
-	// (they read-modify-write against line-lock free times), but use atomic
-	// stores so Clock and MaxClock can read lock-free: observability hooks
-	// in other layers (wal, buffer) need a node's clock while the machine
-	// lock may be held by a pre-transition callback higher in the stack.
-	clocks []int64
-	next   LineID // bump allocator
-	stats  Stats
+	// stripes shard the line directory: all state of line l (data,
+	// directory entry, active bit, line lock) is guarded by
+	// stripes[l&stripeMask]. A line operation holds exactly one stripe and
+	// never blocks on a second one, so operations on lines of different
+	// stripes proceed in parallel.
+	stripes [stripeCount]stripe
+	lines   []line
 
-	preTransition   PreTransitionFunc
-	transitionFault TransitionFaultFunc
-	// crashNotify is invoked (with the machine lock held) at the end of every
-	// Crash that actually took nodes down, so the database layer can destroy
-	// the dependent per-node state (volatile log tails, buffer entries, txn
-	// status) atomically with the hardware crash — required when a crash is
-	// injected mid-operation by a transition fault, where no caller is in a
-	// position to do it afterwards. The callback must not call back into the
-	// Machine except through lock-free methods (Clock, MaxClock).
-	crashNotify func(CrashReport)
-	obs         *obs.Observer
+	// liveMu orders whole-machine liveness transitions (Crash, Restart).
+	// Crash additionally acquires every stripe in ascending order, so the
+	// crash sweep — and the crashNotify callback it ends with — is atomic
+	// with respect to every line operation, preserving the old global-
+	// mutex guarantee that no goroutine ever observes a half-crashed node.
+	liveMu sync.Mutex
+	// aliveMask has bit n set while node n is up (Nodes <= 64 by
+	// validation). Line operations read it under their stripe lock; it
+	// only transitions downward while every stripe is held (Crash), and
+	// upward without any line state changing (Restart).
+	aliveMask atomic.Uint64
+
+	allocMu sync.Mutex
+	// next is the bump-allocator frontier: lines 0..next-1 are allocated.
+	// Atomic so sweeps (Crash, CachedLines, DiscardAll) read it lock-free.
+	next atomic.Int64
+
+	// clocks are per-node simulated nanoseconds, accessed only atomically:
+	// observability hooks in other layers (wal, buffer) need a node's
+	// clock while a stripe may be held by a pre-transition callback higher
+	// in the stack. Monotonic absolute stores go through maxStoreInt64.
+	clocks []int64
+	stats  Stats // updated and snapshotted atomically (see stats.go)
+
+	// hooks is copy-on-write under hookMu; never nil.
+	hookMu sync.Mutex
+	hooks  atomic.Pointer[hookSet]
 }
 
 // New constructs a machine. It panics on an invalid configuration, since a
@@ -256,18 +319,39 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		cfg:    cfg,
 		lines:  make([]line, cfg.Lines),
-		alive:  make([]bool, cfg.Nodes),
 		clocks: make([]int64, cfg.Nodes),
 	}
-	m.cond = sync.NewCond(&m.mu)
-	for i := range m.alive {
-		m.alive[i] = true
+	for i := range m.stripes {
+		m.stripes[i].cond = sync.NewCond(&m.stripes[i].mu)
 	}
+	m.aliveMask.Store(^uint64(0) >> (64 - uint(cfg.Nodes)))
+	m.hooks.Store(&hookSet{})
 	for i := range m.lines {
 		m.lines[i].excl = NoNode
 		m.lines[i].lock.owner = NoNode
 	}
 	return m
+}
+
+// stripeOf returns the stripe guarding line l.
+func (m *Machine) stripeOf(l LineID) *stripe {
+	return &m.stripes[int(l)&stripeMask]
+}
+
+// frontier returns the bump-allocator frontier: every allocated line id is
+// below it. Lock-free.
+func (m *Machine) frontier() LineID { return LineID(m.next.Load()) }
+
+// maxStoreInt64 advances *addr to v if v is greater. Used for absolute
+// clock stores so concurrent charges to the same node's clock can never
+// move it backwards (the simulated-clock monotonicity invariant).
+func maxStoreInt64(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
 }
 
 // Config returns the machine's configuration (with defaults applied).
@@ -285,128 +369,105 @@ func (m *Machine) LineSize() int { return m.cfg.LineSize }
 // machine). Alloc panics if the machine is out of lines, which indicates a
 // mis-sized Config rather than a runtime condition.
 func (m *Machine) Alloc(n int) LineID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if int(m.next)+n > len(m.lines) {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	base := m.frontier()
+	if int(base)+n > len(m.lines) {
 		panic(fmt.Sprintf("machine: out of shared memory (%d lines in use, %d requested, %d total)",
-			m.next, n, len(m.lines)))
+			base, n, len(m.lines)))
 	}
-	base := m.next
-	m.next += LineID(n)
+	m.next.Store(int64(base) + int64(n))
 	return base
 }
 
-// Alive reports whether node n is up.
+// Alive reports whether node n is up. Lock-free, so it is safe to call even
+// from code running under a pre-transition callback.
 func (m *Machine) Alive(n NodeID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.aliveLocked(n)
+	return n >= 0 && int(n) < m.cfg.Nodes && m.aliveMask.Load()&(1<<uint(n)) != 0
 }
 
-func (m *Machine) aliveLocked(n NodeID) bool {
-	return n >= 0 && int(n) < len(m.alive) && m.alive[n]
+// aliveCount returns the number of live nodes. Lock-free.
+func (m *Machine) aliveCount() int {
+	return bits.OnesCount64(m.aliveMask.Load())
+}
+
+// setHooks applies a copy-on-write mutation to the hook set.
+func (m *Machine) setHooks(mut func(*hookSet)) {
+	m.hookMu.Lock()
+	defer m.hookMu.Unlock()
+	hk := *m.hooks.Load()
+	mut(&hk)
+	m.hooks.Store(&hk)
 }
 
 // SetPreTransition installs the coherency-event callback used by triggered
 // Stable LBM. Passing nil removes it.
 func (m *Machine) SetPreTransition(f PreTransitionFunc) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.preTransition = f
+	m.setHooks(func(hk *hookSet) { hk.preTransition = f })
 }
 
 // SetTransitionFault installs the fault-injection hook consulted after every
 // coherency transition. Passing nil removes it.
 func (m *Machine) SetTransitionFault(f TransitionFaultFunc) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.transitionFault = f
+	m.setHooks(func(hk *hookSet) { hk.transitionFault = f })
 }
 
-// SetCrashNotify installs the crash callback invoked (with the machine lock
-// held) whenever nodes actually go down. Passing nil removes it.
+// SetCrashNotify installs the crash callback invoked (with every stripe
+// held — the machine fully quiesced) whenever nodes actually go down.
+// Passing nil removes it.
 func (m *Machine) SetCrashNotify(f func(CrashReport)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.crashNotify = f
-}
-
-// faultTransition consults the injected transition-fault hook after a
-// coherency transition and crashes the returned victims at exactly that
-// instant. Called with m.mu held. It returns ErrNodeDown if the initiating
-// node nd itself was taken down.
-func (m *Machine) faultTransition(ev Event, nd NodeID) error {
-	if m.transitionFault == nil {
-		return nil
-	}
-	alive := 0
-	for _, a := range m.alive {
-		if a {
-			alive++
-		}
-	}
-	victims := m.transitionFault(ev, alive)
-	if len(victims) == 0 {
-		return nil
-	}
-	for _, v := range victims {
-		m.traceLocked(obs.KindFault, v, int64(ev.Line), int64(ev.Kind))
-	}
-	m.crashLocked(victims)
-	if !m.aliveLocked(nd) {
-		return ErrNodeDown
-	}
-	return nil
+	m.setHooks(func(hk *hookSet) { hk.crashNotify = f })
 }
 
 // SetObserver attaches (or, with nil, detaches) the observability layer.
 // Coherency transitions, line-lock latencies, trigger fires, and crashes are
 // reported to it. The observer must not call back into the Machine.
 func (m *Machine) SetObserver(o *obs.Observer) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.obs = o
+	m.setHooks(func(hk *hookSet) { hk.obs = o })
 }
 
-// traceLocked records an instant event at node nd's current simulated time.
-// Called with m.mu held.
-func (m *Machine) traceLocked(k obs.Kind, nd NodeID, a, b int64) {
-	if m.obs == nil {
+// trace records an instant event at node nd's current simulated time. Safe
+// to call with or without stripe locks held.
+func (m *Machine) trace(k obs.Kind, nd NodeID, a, b int64) {
+	hk := m.hooks.Load()
+	if hk.obs == nil {
 		return
 	}
 	var sim int64
 	if nd >= 0 && int(nd) < len(m.clocks) {
 		sim = atomic.LoadInt64(&m.clocks[nd])
 	}
-	m.obs.Instant(k, int32(nd), sim, a, b)
+	hk.obs.Instant(k, int32(nd), sim, a, b)
 }
 
 // SetActive sets or clears the per-line "contains active data" bit
 // (section 5.2). The caller should hold the line (via line lock or
 // exclusivity); the machine does not check.
 func (m *Machine) SetActive(l LineID, on bool) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.checkLine(l); err != nil {
 		return err
 	}
+	s := m.stripeOf(l)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m.lines[l].active = on
 	return nil
 }
 
 // Active reports the line's active-data bit.
 func (m *Machine) Active(l LineID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if l < 0 || int(l) >= len(m.lines) {
 		return false
 	}
+	s := m.stripeOf(l)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return m.lines[l].active
 }
 
 // Clock returns node n's simulated clock in nanoseconds. It is lock-free,
 // so it is safe to call even from code running under a pre-transition
-// callback (which holds the machine lock).
+// callback (which holds the line's stripe lock).
 func (m *Machine) Clock(n NodeID) int64 {
 	if n < 0 || int(n) >= len(m.clocks) {
 		return 0
@@ -428,13 +489,11 @@ func (m *Machine) MaxClock() int64 {
 
 // AdvanceClock charges d simulated nanoseconds to node n. Database layers
 // use it for work that happens outside the machine proper (disk I/O, log
-// forces, message passing).
+// forces, message passing). Lock-free.
 func (m *Machine) AdvanceClock(n NodeID, d int64) {
 	if d <= 0 {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if n >= 0 && int(n) < len(m.clocks) {
 		atomic.AddInt64(&m.clocks[n], d)
 	}
@@ -464,18 +523,20 @@ func (m *Machine) checkRange(l LineID, off, n int) error {
 // cleared, as the paper's section 5.2 hardware extension specifies ("log
 // forces would clear the bits of all associated cache lines"): the callback
 // has made the line's pending log records stable, so later transitions need
-// no further forces until the line is updated again. Called with m.mu held.
+// no further forces until the line is updated again. Called with the line's
+// stripe held.
 func (m *Machine) fire(l LineID, kind EventKind, from, to, charge NodeID) error {
 	ln := &m.lines[l]
-	if !ln.active || m.preTransition == nil {
+	hk := m.hooks.Load()
+	if !ln.active || hk.preTransition == nil {
 		return nil
 	}
-	cost, err := m.preTransition(Event{Line: l, Kind: kind, From: from, To: to})
+	cost, err := hk.preTransition(Event{Line: l, Kind: kind, From: from, To: to})
 	if charge >= 0 && int(charge) < len(m.clocks) {
 		atomic.AddInt64(&m.clocks[charge], cost)
 	}
-	m.stats.TriggerFires++
-	m.traceLocked(obs.KindTriggerFire, charge, int64(l), int64(kind))
+	atomic.AddInt64(&m.stats.TriggerFires, 1)
+	m.trace(obs.KindTriggerFire, charge, int64(l), int64(kind))
 	if err == nil {
 		ln.active = false
 	}

@@ -1,8 +1,13 @@
 package machine
 
+import "sync/atomic"
+
 // Stats counts coherency traffic and failure events. The recovery
 // experiments use these to relate protocol overheads to the sharing
-// behaviour that causes them.
+// behaviour that causes them. Inside the Machine every field is updated
+// with atomic adds (line operations hold only their line's stripe, so a
+// single non-atomic counter block would race); Stats() assembles a
+// field-by-field atomic snapshot.
 type Stats struct {
 	// Reads and Writes are total loads/stores issued.
 	Reads, Writes int64
@@ -24,7 +29,8 @@ type Stats struct {
 	Broadcasts int64
 	// Installs are lines loaded from outside (disk) into a cache.
 	Installs int64
-	// Discards are cached copies dropped by software (cache flush).
+	// Discards are cached copies dropped by software (cache flush),
+	// whether one at a time (Discard) or batched (DiscardAll).
 	Discards int64
 	// LineLockAcquires and LineLockContended count GetLine calls and the
 	// subset that found the lock held.
@@ -63,16 +69,41 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
-// Stats returns a snapshot of the machine's counters.
+// Stats returns a snapshot of the machine's counters. Each field is read
+// atomically; the snapshot as a whole is not a single point in time when
+// line operations are in flight (counters of one operation may land across
+// two snapshots), which no consumer depends on.
 func (m *Machine) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Reads:             atomic.LoadInt64(&m.stats.Reads),
+		Writes:            atomic.LoadInt64(&m.stats.Writes),
+		LocalHits:         atomic.LoadInt64(&m.stats.LocalHits),
+		RemoteFetches:     atomic.LoadInt64(&m.stats.RemoteFetches),
+		Migrations:        atomic.LoadInt64(&m.stats.Migrations),
+		Downgrades:        atomic.LoadInt64(&m.stats.Downgrades),
+		Replications:      atomic.LoadInt64(&m.stats.Replications),
+		Invalidations:     atomic.LoadInt64(&m.stats.Invalidations),
+		Broadcasts:        atomic.LoadInt64(&m.stats.Broadcasts),
+		Installs:          atomic.LoadInt64(&m.stats.Installs),
+		Discards:          atomic.LoadInt64(&m.stats.Discards),
+		LineLockAcquires:  atomic.LoadInt64(&m.stats.LineLockAcquires),
+		LineLockContended: atomic.LoadInt64(&m.stats.LineLockContended),
+		TriggerFires:      atomic.LoadInt64(&m.stats.TriggerFires),
+		Crashes:           atomic.LoadInt64(&m.stats.Crashes),
+		LinesLost:         atomic.LoadInt64(&m.stats.LinesLost),
+	}
 }
 
 // ResetStats zeroes the counters (the clock and memory state are unchanged).
 func (m *Machine) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
+	for _, p := range []*int64{
+		&m.stats.Reads, &m.stats.Writes, &m.stats.LocalHits,
+		&m.stats.RemoteFetches, &m.stats.Migrations, &m.stats.Downgrades,
+		&m.stats.Replications, &m.stats.Invalidations, &m.stats.Broadcasts,
+		&m.stats.Installs, &m.stats.Discards, &m.stats.LineLockAcquires,
+		&m.stats.LineLockContended, &m.stats.TriggerFires, &m.stats.Crashes,
+		&m.stats.LinesLost,
+	} {
+		atomic.StoreInt64(p, 0)
+	}
 }

@@ -29,6 +29,12 @@ type Flags struct {
 	HTTPHold  time.Duration // -httphold: keep serving this long after the run
 	FlightDir string        // -flightdir: crash flight-recorder dump root
 	FlightN   int           // -flightn: per-node event tail in each dump
+
+	// RecoverWorkers is -recoverworkers: the restart-recovery fan-out every
+	// cmd copies into recovery.Config.RecoveryWorkers (0 or 1 = sequential).
+	// Not an observability surface, but shared cmd wiring all the same, and
+	// keeping it here keeps the knob's spelling identical across binaries.
+	RecoverWorkers int
 }
 
 // AddFlags registers the shared observability flag set on fs (the command's
@@ -42,6 +48,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.HTTPHold, "httphold", 0, "keep the -http server alive this long after the run finishes")
 	fs.StringVar(&f.FlightDir, "flightdir", "", "write crash flight-recorder dumps under this directory")
 	fs.IntVar(&f.FlightN, "flightn", obs.DefaultFlightEvents, "events retained per node in each flight dump")
+	fs.IntVar(&f.RecoverWorkers, "recoverworkers", 0, "parallel restart-recovery workers (0 = sequential)")
 	return f
 }
 

@@ -40,6 +40,13 @@ type Config struct {
 	// DirtyReads permits reads without shared locks (browse/chaos degrees
 	// of [7]); used to demonstrate the H_wr hazard of section 3.2.
 	DirtyReads bool
+	// RecoveryWorkers bounds the goroutine fan-out of restart recovery's
+	// parallel phases (per-survivor log scans, page-partitioned redo, the
+	// undo tag scan, lock replay, cache flush). 0 or 1 keeps the fully
+	// sequential pipeline. Post-recovery database state, abort sets, and
+	// the Redo/Undo counters are identical at every setting; only wall
+	// clock (and the incidental simulated interleaving) changes.
+	RecoveryWorkers int
 }
 
 func (c *Config) setDefaults() {
@@ -407,6 +414,16 @@ func (db *DB) NextVersion() uint64 { return db.versions.Add(1) }
 // Frozen reports whether the system is between a crash and the completion
 // of restart recovery, during which transaction processing stalls.
 func (db *DB) Frozen() bool { return db.frozen.Load() }
+
+// parWorkers returns restart recovery's parallel fan-out: Cfg.RecoveryWorkers
+// when it asks for real parallelism, 0 for the fully sequential pipeline
+// (RecoveryWorkers of 0 or 1).
+func (db *DB) parWorkers() int {
+	if w := db.Cfg.RecoveryWorkers; w > 1 {
+		return w
+	}
+	return 0
+}
 
 // logForceCost is the simulated price of one physical log force.
 func (db *DB) logForceCost() int64 {

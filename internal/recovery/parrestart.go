@@ -1,0 +1,232 @@
+package recovery
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/obs"
+	"smdb/internal/storage"
+	"smdb/internal/wal"
+)
+
+// Parallel restart recovery (the node-parallel reading of section 4.1.2):
+// each surviving node can scan its own log, probe its own residency, and
+// tag-scan its own cache independently, so the pipeline fans those units out
+// across Cfg.RecoveryWorkers goroutines. Determinism is preserved by
+// partitioning along independence boundaries — per node for log scans, lock
+// replay, and cache flushes; per page for redo (same-slot version decisions
+// depend only on same-slot order, and a slot lives on exactly one page) —
+// and by merging worker results in a fixed order (node order, candidate-list
+// order). Post-recovery database state, abort sets, and the Redo/Undo
+// counters are identical at every worker count; only host wall clock and the
+// incidental simulated interleaving change.
+
+// ParPhase records one parallel fan-out of restart recovery: which phase ran
+// fanned out, over how many goroutines, and the host wall-clock time the
+// fan-out took (the quantity the parallel pipeline exists to shrink;
+// simulated time is tracked separately by RecoveryReport.Phases).
+type ParPhase struct {
+	Phase  obs.Phase
+	Fanout int
+	Wall   time.Duration
+}
+
+// forEachPar runs f(0..n-1) across at most workers goroutines, records the
+// fan-out under phase in rep.ParPhases, and returns the lowest-index error
+// (so the surfaced error does not depend on scheduling). Tasks are handed
+// out by an atomic counter; every task runs exactly once even after another
+// task fails — recovery tasks are idempotent and a retrying Recover would
+// repeat them anyway, so draining is simpler than cancellation and keeps the
+// shard-merge logic unconditional.
+func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	rep.ParPhases = append(rep.ParPhases, ParPhase{Phase: phase, Fanout: workers, Wall: time.Since(start)})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushAllCachesPar discards every surviving node's cached database lines,
+// one DiscardAll sweep per node, fanned out across the workers (Redo All
+// step 1; nodes' discard sets are disjoint except for shared lines, which
+// DiscardAll drops per-holder under the line's stripe).
+func (db *DB) flushAllCachesPar(alive []machine.NodeID, rep *RecoveryReport, w int) {
+	// DiscardAll cannot fail; forEachPar's error is structurally nil.
+	_ = db.forEachPar(rep, obs.PhaseRedoScan, len(alive), w, func(i int) error {
+		db.M.DiscardAll(alive[i], db.Store.Contains)
+		return nil
+	})
+}
+
+// collectRedoPar is the parallel redo scan: one goroutine per node's log,
+// with the per-node candidate lists concatenated in node order — exactly the
+// sequential scan's output.
+func (db *DB) collectRedoPar(alive []machine.NodeID, rep *RecoveryReport, w int) ([]redoCand, error) {
+	coord := alive[0]
+	n := db.M.Nodes()
+	parts := make([][]redoCand, n)
+	err := db.forEachPar(rep, obs.PhaseRedoScan, n, w, func(i int) error {
+		part, err := db.collectRedoNode(machine.NodeID(i), coord)
+		parts[i] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cands []redoCand
+	for _, part := range parts {
+		cands = append(cands, part...)
+	}
+	return cands, nil
+}
+
+// pageBuckets partitions redo candidates by page, preserving candidate-list
+// order within each bucket. Buckets are ordered by first appearance, so the
+// partition itself is deterministic.
+func pageBuckets(cands []redoCand) [][]redoCand {
+	idx := make(map[storage.PageID]int)
+	var buckets [][]redoCand
+	for _, c := range cands {
+		i, ok := idx[c.rec.Page]
+		if !ok {
+			i = len(buckets)
+			idx[c.rec.Page] = i
+			buckets = append(buckets, nil)
+		}
+		buckets[i] = append(buckets[i], c)
+	}
+	return buckets
+}
+
+// probeRedoPar probes residency page-bucket-parallel: all of one page's
+// candidates (hence all of its lines and its one header line) belong to one
+// worker, so concurrent workers fetch disjoint pages.
+func (db *DB) probeRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
+	buckets := pageBuckets(cands)
+	return db.forEachPar(rep, obs.PhaseProbe, len(buckets), w, func(i int) error {
+		return db.probeRedoSlice(buckets[i])
+	})
+}
+
+// applyRedoPar applies redo page-bucket-parallel with per-bucket counter
+// shards, merged in bucket order: same-page candidates keep their list order,
+// so every version-check decision — and therefore RedoApplied/RedoSkipped —
+// matches the sequential pipeline exactly.
+func (db *DB) applyRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
+	buckets := pageBuckets(cands)
+	shards := make([]RecoveryReport, len(buckets))
+	err := db.forEachPar(rep, obs.PhaseRedoApply, len(buckets), w, func(i int) error {
+		for _, c := range buckets[i] {
+			rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
+			if err := db.redoRecord(c.onto, c.rec, rid, &shards[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for i := range shards {
+		rep.RedoApplied += shards[i].RedoApplied
+		rep.RedoSkipped += shards[i].RedoSkipped
+	}
+	return err
+}
+
+// undoTagScanPar runs the Selective Redo undo scan in three steps: parallel
+// tagger-index builds (read-only log scans), parallel read-only cache scans,
+// then a node-order merge deduplicated by rid feeding the sequential apply.
+// The dedupe reproduces the sequential pipeline's "first scanner fixes it"
+// outcome: sequentially, an applied repair migrates the line exclusively to
+// the fixer, so later nodes never rescan it; with read-only parallel scans
+// every holder of a shared line reports it, and keeping only the first
+// (lowest alive-order) action per rid yields the same repair set, applied by
+// the same node, in the same order — so UndoApplied matches exactly.
+// TagScanLines may legitimately differ (shared lines are counted once per
+// holder here), which is why the equivalence gate excludes it.
+func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryReport, w int) error {
+	down := nodeSet(crashed)
+	// Tagger indexes for every survivor up front: the scans below read them
+	// concurrently, so the lazy build of the sequential path would race.
+	idx := make([]map[slotVer]wal.TxnID, db.M.Nodes())
+	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int) error {
+		idx[alive[i]] = db.buildTaggerIndex(alive[i])
+		return nil
+	}); err != nil {
+		return err
+	}
+	taggerIndex := func(n machine.NodeID) map[slotVer]wal.TxnID { return idx[n] }
+	acts := make([][]tagAction, len(alive))
+	lines := make([]int, len(alive))
+	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int) error {
+		a, l, err := db.scanNodeTags(alive[i], down, taggerIndex)
+		acts[i], lines[i] = a, l
+		return err
+	}); err != nil {
+		return err
+	}
+	seen := make(map[heap.RID]bool)
+	var merged []tagAction
+	for i := range acts {
+		rep.TagScanLines += lines[i]
+		for _, a := range acts[i] {
+			if seen[a.rid] {
+				continue
+			}
+			seen[a.rid] = true
+			merged = append(merged, a)
+		}
+	}
+	return db.applyTagActions(merged, crashed, rep)
+}
+
+// replaySurvivorLocksPar replays lock logs one goroutine per surviving node.
+// Pre-crash holdings across nodes were simultaneously granted, hence
+// compatible, so concurrent re-grants never wait on each other; Acquire is
+// idempotent, so the per-node counts are order-independent. The caller holds
+// the log-suppression latch.
+func (db *DB) replaySurvivorLocksPar(alive []machine.NodeID, rep *RecoveryReport, w int) (int, error) {
+	counts := make([]int, len(alive))
+	err := db.forEachPar(rep, obs.PhaseLockRebuild, len(alive), w, func(i int) error {
+		n, err := db.replayNodeLocks(alive[i])
+		counts[i] = n
+		return err
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, err
+}

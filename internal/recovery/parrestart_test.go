@@ -1,0 +1,216 @@
+package recovery_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/storage"
+	"smdb/internal/txn"
+	"smdb/internal/workload"
+)
+
+// The sequential/parallel equivalence gate: restart recovery must produce
+// identical post-recovery database images, abort sets, and Redo/Undo/lock
+// counters at every worker count. Versions, TagScanLines, SimTime, and the
+// phase spans are deliberately excluded — they depend on allocation order and
+// interleaving, which parallelism legitimately changes (see parrestart.go).
+
+// eqProtocols covers every real protocol (the AblatedNoLBM negative control
+// deliberately breaks recovery and is excluded everywhere).
+var eqProtocols = []recovery.Protocol{
+	recovery.BaselineFA,
+	recovery.VolatileRedoAll,
+	recovery.VolatileSelectiveRedo,
+	recovery.StableEager,
+	recovery.StableTriggered,
+}
+
+const (
+	eqNodes = 6
+	eqPages = 12
+	// The last eqTailPages pages are reserved for hand-opened active
+	// transactions, so their locks never conflict with the committed
+	// backlog the Runner generates on the head pages.
+	eqTailPages = 2
+)
+
+// runEqScenario drives one seeded two-wave crash schedule against a fresh DB
+// and returns a fingerprint of everything the gate compares. Two waves, with
+// the first wave's victims restarted in between, exercise the
+// restarted-node redo filter (a revived log carrying updates of transactions
+// an earlier recovery settled as dead) on top of the single-crash paths.
+func runEqScenario(t *testing.T, proto recovery.Protocol, seed int64, workers int) string {
+	t.Helper()
+	db, err := recovery.New(recovery.Config{
+		Machine:         machine.Config{Nodes: eqNodes, Lines: 4096},
+		Protocol:        proto,
+		LinesPerPage:    4,
+		RecsPerLine:     4,
+		Pages:           eqPages,
+		LockTableLines:  128,
+		RecoveryWorkers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := txn.NewManager(db)
+	if err := workload.Seed(db, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var fp strings.Builder
+	for wave := 0; wave < 2; wave++ {
+		// Committed backlog with heavy inter-node sharing on the head pages.
+		r := workload.NewRunner(db, workload.Spec{
+			TxnsPerNode: 5, OpsPerTxn: 6,
+			ReadFraction: 0.3, SharingFraction: 0.7,
+			HeapPages: eqPages - eqTailPages,
+			Seed:      seed*101 + int64(wave),
+		})
+		if _, err := r.Run(); err != nil {
+			t.Fatalf("wave %d workload: %v", wave, err)
+		}
+		// One open transaction per node on this wave's tail page: the ones
+		// on crashing nodes exercise undo (and tag-scan undo under Selective
+		// Redo), the surviving ones lock replay and tag legitimacy. Slots
+		// straddle cache lines (RecsPerLine=4, 6 nodes), so the tagged lines
+		// migrate between nodes.
+		tailPage := storage.PageID(eqPages - 1 - wave)
+		for n := 0; n < eqNodes; n++ {
+			tx, err := mgr.Begin(machine.NodeID(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rid := heap.RID{Page: tailPage, Slot: uint16(n)}
+			if err := tx.Write(rid, []byte{byte(0xA0 + wave), byte(n)}); err != nil {
+				t.Fatalf("wave %d active write node %d: %v", wave, n, err)
+			}
+			// Deliberately left open across the crash.
+		}
+		// Seeded victims: 1-2 nodes, at least two survivors.
+		nVictims := 1 + rng.Intn(2)
+		perm := rng.Perm(eqNodes)
+		victims := make([]machine.NodeID, 0, nVictims)
+		for _, p := range perm[:nVictims] {
+			victims = append(victims, machine.NodeID(p))
+		}
+		db.Crash(victims...)
+		rep, err := db.Recover(victims)
+		if err != nil {
+			t.Fatalf("wave %d recover (workers=%d): %v", wave, workers, err)
+		}
+		fmt.Fprintf(&fp, "wave%d crashed=%v aborted=%v redo=%d/%d undo=%d locks=%d lcb=%d released=%d chains=%d\n",
+			wave, rep.Crashed, rep.Aborted, rep.RedoApplied, rep.RedoSkipped,
+			rep.UndoApplied, rep.LocksReplayed, rep.LCBsReinstalled,
+			rep.LockEntriesReleased, rep.LCBChainsDropped)
+		for _, v := range victims {
+			if !db.M.Alive(v) { // the baseline reboot restarts everyone itself
+				if err := db.RestartNode(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// The full logical database image, read from node 0 (all nodes are back
+	// up). Flags, undo tag, and data are compared; versions are not.
+	for p := 0; p < eqPages; p++ {
+		for s := 0; s < db.Store.Layout.RecsPerLine*(db.Cfg.LinesPerPage-1); s++ {
+			rid := heap.RID{Page: storage.PageID(p), Slot: uint16(s)}
+			sd, err := db.Read(0, rid)
+			if err != nil {
+				t.Fatalf("final read %v: %v", rid, err)
+			}
+			fmt.Fprintf(&fp, "%v flags=%d tag=%d data=%x\n", rid, sd.Flags, sd.Tag, sd.Data)
+		}
+	}
+	return fp.String()
+}
+
+// TestParallelRecoveryEquivalence is the acceptance gate: for every protocol
+// and 8 seeded crash schedules, the parallel pipeline (4 workers) must be
+// outcome-identical to the sequential one.
+func TestParallelRecoveryEquivalence(t *testing.T) {
+	for _, proto := range eqProtocols {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 8; seed++ {
+				seq := runEqScenario(t, proto, seed, 0)
+				par := runEqScenario(t, proto, seed, 4)
+				if seq != par {
+					t.Errorf("seed %d: sequential and parallel recovery diverge\n--- sequential ---\n%s--- parallel(4) ---\n%s",
+						seed, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRecoveryWorkerSweep pins the knob itself: worker counts beyond
+// the fan-out width and a degenerate single-survivor config must still be
+// outcome-identical, and the report must record the fan-out actually used.
+func TestParallelRecoveryWorkerSweep(t *testing.T) {
+	base := runEqScenario(t, recovery.VolatileSelectiveRedo, 3, 0)
+	for _, w := range []int{2, 8, 64} {
+		if got := runEqScenario(t, recovery.VolatileSelectiveRedo, 3, w); got != base {
+			t.Errorf("workers=%d diverges from sequential:\n--- sequential ---\n%s--- workers=%d ---\n%s",
+				w, base, w, got)
+		}
+	}
+}
+
+// TestParallelReportFields checks the parallel-run bookkeeping: Workers and
+// the per-phase fan-out spans appear on a parallel run and stay empty on a
+// sequential one.
+func TestParallelReportFields(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		db, err := recovery.New(recovery.Config{
+			Machine:         machine.Config{Nodes: 4, Lines: 2048},
+			Protocol:        recovery.VolatileSelectiveRedo,
+			LinesPerPage:    4,
+			RecsPerLine:     4,
+			Pages:           8,
+			LockTableLines:  64,
+			RecoveryWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.Seed(db, 0); err != nil {
+			t.Fatal(err)
+		}
+		r := workload.NewRunner(db, workload.Spec{TxnsPerNode: 4, OpsPerTxn: 4, SharingFraction: 0.8, Seed: 9})
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		victim := machine.NodeID(3)
+		db.Crash(victim)
+		rep, err := db.Recover([]machine.NodeID{victim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Workers != workers {
+			t.Errorf("workers=%d: rep.Workers = %d", workers, rep.Workers)
+		}
+		if workers == 0 && len(rep.ParPhases) != 0 {
+			t.Errorf("sequential run recorded parallel spans: %+v", rep.ParPhases)
+		}
+		if workers > 1 {
+			if len(rep.ParPhases) == 0 {
+				t.Errorf("parallel run recorded no fan-out spans")
+			}
+			for _, pp := range rep.ParPhases {
+				if pp.Fanout < 2 || pp.Fanout > workers {
+					t.Errorf("fan-out span %v outside [2,%d]", pp, workers)
+				}
+			}
+		}
+	}
+}

@@ -47,6 +47,13 @@ type RecoveryReport struct {
 	// order (plus a leading freeze span covering crash-to-recovery time when
 	// known). Durations are simulated nanoseconds.
 	Phases []obs.PhaseSpan
+	// Workers is the parallel fan-out recovery ran with (0 = fully
+	// sequential, the Cfg.RecoveryWorkers <= 1 path).
+	Workers int
+	// ParPhases records, for each phase that actually fanned out, the
+	// worker count used and the host wall-clock time spent. Empty on
+	// sequential runs.
+	ParPhases []ParPhase
 }
 
 // PhaseTime returns the simulated duration spent in phase p (0 if the phase
@@ -88,7 +95,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		return nil, fmt.Errorf("recovery: no surviving nodes")
 	}
 	defer db.frozen.Store(false)
-	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: mergeNodes(crashed, nil)}
+	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: mergeNodes(crashed, nil), Workers: db.parWorkers()}
 	startClock := db.M.MaxClock()
 	o := db.Observer()
 
@@ -227,7 +234,7 @@ func (db *DB) recoverOnce(alive []machine.NodeID, rep *RecoveryReport) error {
 		return err
 	}
 	rep.LockEntriesReleased += released
-	replayed, err := db.replaySurvivorLocks(alive)
+	replayed, err := db.replaySurvivorLocks(alive, rep)
 	if err != nil {
 		return err
 	}
@@ -244,26 +251,23 @@ func (db *DB) recoverOnce(alive []machine.NodeID, rep *RecoveryReport) error {
 		// database lines, wiping any migrated uncommitted updates of
 		// crashed transactions (and, collaterally, everything else in
 		// memory).
-		db.flushAllCaches(alive)
+		db.flushAllCaches(alive, rep)
 	}
-	cands, err := db.collectRedo(alive)
+	cands, err := db.collectRedo(alive, rep)
 	if err != nil {
 		return err
 	}
 	if err := step(obs.PhaseRedoScan); err != nil {
 		return err
 	}
-	if err := db.probeRedo(cands); err != nil {
+	if err := db.probeRedo(cands, rep); err != nil {
 		return err
 	}
 	if err := step(obs.PhaseProbe); err != nil {
 		return err
 	}
-	for _, c := range cands {
-		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
-		if err := db.redoRecord(c.onto, c.rec, rid, rep); err != nil {
-			return err
-		}
+	if err := db.applyRedo(cands, rep); err != nil {
+		return err
 	}
 	if err := step(obs.PhaseRedoApply); err != nil {
 		return err
@@ -400,50 +404,81 @@ func (db *DB) downNodes() []machine.NodeID {
 }
 
 // flushAllCaches discards every cached heap line on every surviving node
-// (Redo All step 1; the lock table is managed separately).
-func (db *DB) flushAllCaches(alive []machine.NodeID) {
+// (Redo All step 1; the lock table is managed separately). Each node's flush
+// is one DiscardAll sweep — a stripe-at-a-time batch instead of a lock
+// round-trip per line.
+func (db *DB) flushAllCaches(alive []machine.NodeID, rep *RecoveryReport) {
+	if w := db.parWorkers(); w > 1 {
+		db.flushAllCachesPar(alive, rep, w)
+		return
+	}
 	for _, nd := range alive {
-		for _, l := range db.M.CachedLines(nd) {
-			if db.Store.Contains(l) {
-				_ = db.M.Discard(nd, l)
-			}
-		}
+		db.M.DiscardAll(nd, db.Store.Contains)
 	}
 }
 
-// logView is the recovery-visible portion of one node's log.
+// logView is the recovery-visible portion of one node's log. Survivor views
+// wrap the live log and iterate it in place under the log mutex (no record
+// copying); crashed-node views hold the decoded stable prefix — the volatile
+// tail died with the node.
 type logView struct {
-	node      machine.NodeID
-	recs      []wal.Record
-	fromCkpt  []wal.Record // records after the last visible checkpoint
+	node   machine.NodeID
+	live   *wal.Log     // survivors: scanned in place (nil for crashed views)
+	stable []wal.Record // crashed nodes: decoded stable prefix
+	// ckptLSN is the LSN just past the last visible checkpoint record (1 if
+	// none), the redo scan's starting point.
+	ckptLSN   wal.LSN
 	committed map[wal.TxnID]bool
 	aborted   map[wal.TxnID]bool
 	ntaDone   map[uint64]bool
 }
 
+// scanFrom calls fn for every visible record with LSN >= from, in LSN order,
+// stopping early if fn returns false. Survivor views run fn under the live
+// log's mutex: fn must not call back into that log (appending from inside the
+// scan would self-deadlock).
+func (v *logView) scanFrom(from wal.LSN, fn func(wal.Record) bool) {
+	if v.live != nil {
+		v.live.Scan(from, fn)
+		return
+	}
+	for _, r := range v.stable {
+		if r.LSN < from {
+			continue
+		}
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// scan visits every visible record (see scanFrom).
+func (v *logView) scan(fn func(wal.Record) bool) { v.scanFrom(1, fn) }
+
+// scanFromCkpt visits the records after the last visible checkpoint.
+func (v *logView) scanFromCkpt(fn func(wal.Record) bool) { v.scanFrom(v.ckptLSN, fn) }
+
 // view builds the recovery-visible log view of node n: survivors expose
 // their full logs (their memory survived); crashed nodes only their stable
 // prefixes.
 func (db *DB) view(n machine.NodeID, isCrashed bool) (*logView, error) {
-	var recs []wal.Record
-	if isCrashed {
-		var err error
-		recs, err = db.Logs[n].StableRecords()
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		recs = db.Logs[n].Records(1)
-	}
 	v := &logView{
 		node:      n,
-		recs:      recs,
+		ckptLSN:   1,
 		committed: make(map[wal.TxnID]bool),
 		aborted:   make(map[wal.TxnID]bool),
 		ntaDone:   make(map[uint64]bool),
 	}
-	ckpt := 0
-	for i, r := range recs {
+	if isCrashed {
+		recs, err := db.Logs[n].StableRecords()
+		if err != nil {
+			return nil, err
+		}
+		v.stable = recs
+	} else {
+		v.live = db.Logs[n]
+	}
+	v.scan(func(r wal.Record) bool {
 		switch r.Type {
 		case wal.TypeCommit:
 			v.committed[r.Txn] = true
@@ -452,10 +487,10 @@ func (db *DB) view(n machine.NodeID, isCrashed bool) (*logView, error) {
 		case wal.TypeNTAEnd:
 			v.ntaDone[r.NTA] = true
 		case wal.TypeCheckpoint:
-			ckpt = i + 1
+			v.ckptLSN = r.LSN + 1
 		}
-	}
-	v.fromCkpt = recs[ckpt:]
+		return true
+	})
 	return v, nil
 }
 
@@ -489,43 +524,80 @@ type redoCand struct {
 // their uncommitted updates are not repeated, as they are about to be undone
 // anyway. Version comparison in the apply phase makes redo idempotent and
 // order-independent across logs.
-func (db *DB) collectRedo(alive []machine.NodeID) ([]redoCand, error) {
+func (db *DB) collectRedo(alive []machine.NodeID, rep *RecoveryReport) ([]redoCand, error) {
+	if w := db.parWorkers(); w > 1 {
+		return db.collectRedoPar(alive, rep, w)
+	}
 	coord := alive[0]
 	var cands []redoCand
 	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
-		isDown := !db.M.Alive(n)
-		v, err := db.view(n, isDown)
+		part, err := db.collectRedoNode(n, coord)
 		if err != nil {
 			return nil, err
 		}
-		onto := n
-		if isDown {
-			onto = coord
+		cands = append(cands, part...)
+	}
+	return cands, nil
+}
+
+// collectRedoNode gathers one node's redo candidates (the per-log unit the
+// parallel scan fans out over; candidates come back in log order).
+func (db *DB) collectRedoNode(n, coord machine.NodeID) ([]redoCand, error) {
+	isDown := !db.M.Alive(n)
+	v, err := db.view(n, isDown)
+	if err != nil {
+		return nil, err
+	}
+	onto := n
+	if isDown {
+		onto = coord
+	}
+	var cands []redoCand
+	// Survivor-log updates of uncommitted transactions need a txnDead check,
+	// which takes db.mu. That must not happen inside a live-log scan
+	// (Checkpoint holds db.mu while calling into the log, so a scan callback
+	// taking db.mu inverts the order); collect the candidate positions here
+	// and filter after the scan releases the log mutex.
+	var deadChecks []int
+	v.scanFromCkpt(func(rec wal.Record) bool {
+		if rec.Type != wal.TypeUpdate && rec.Type != wal.TypeCLR {
+			return true
 		}
-		for _, rec := range v.fromCkpt {
-			if rec.Type != wal.TypeUpdate && rec.Type != wal.TypeCLR {
-				continue
+		if isDown {
+			switch {
+			case rec.Type == wal.TypeCLR:
+			case rec.NTA != 0 && v.ntaDone[rec.NTA]:
+			case v.committed[rec.Txn]:
+			default:
+				return true
 			}
-			if isDown {
-				switch {
-				case rec.Type == wal.TypeCLR:
-				case rec.NTA != 0 && v.ntaDone[rec.NTA]:
-				case v.committed[rec.Txn]:
-				default:
-					continue
+		} else if rec.Type == wal.TypeUpdate && rec.NTA == 0 && !v.committed[rec.Txn] {
+			deadChecks = append(deadChecks, len(cands))
+		}
+		cands = append(cands, redoCand{onto: onto, rec: rec})
+		return true
+	})
+	if len(deadChecks) > 0 {
+		// A restarted node's log can still carry updates of a transaction
+		// that died with an earlier crash. If that crash also destroyed the
+		// only copy of the effect, no compensation record was ever written —
+		// the undo was skipped as moot — so replaying the update here would
+		// resurrect it, and the undo pass (which covers only the
+		// currently-down nodes) would never see it again.
+		drop := make(map[int]bool)
+		for _, i := range deadChecks {
+			if db.txnDead(cands[i].rec.Txn) {
+				drop[i] = true
+			}
+		}
+		if len(drop) > 0 {
+			kept := cands[:0]
+			for i, c := range cands {
+				if !drop[i] {
+					kept = append(kept, c)
 				}
-			} else if rec.Type == wal.TypeUpdate && rec.NTA == 0 &&
-				!v.committed[rec.Txn] && db.txnDead(rec.Txn) {
-				// A restarted node's log can still carry updates of a
-				// transaction that died with an earlier crash. If that
-				// crash also destroyed the only copy of the effect, no
-				// compensation record was ever written — the undo was
-				// skipped as moot — so replaying the update here would
-				// resurrect it, and the undo pass (which covers only the
-				// currently-down nodes) would never see it again.
-				continue
 			}
-			cands = append(cands, redoCand{onto: onto, rec: rec})
+			cands = kept
 		}
 	}
 	return cands, nil
@@ -537,7 +609,16 @@ func (db *DB) collectRedo(alive []machine.NodeID) ([]redoCand, error) {
 // database up front, so the apply phase mostly hits warm lines. The apply
 // path re-checks residency, so the probe is an acceleration, not a
 // correctness requirement.
-func (db *DB) probeRedo(cands []redoCand) error {
+func (db *DB) probeRedo(cands []redoCand, rep *RecoveryReport) error {
+	if w := db.parWorkers(); w > 1 {
+		return db.probeRedoPar(cands, rep, w)
+	}
+	return db.probeRedoSlice(cands)
+}
+
+// probeRedoSlice probes one run of candidates (the whole list sequentially;
+// one page's bucket under the parallel pipeline).
+func (db *DB) probeRedoSlice(cands []redoCand) error {
 	for _, c := range cands {
 		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
 		line, _, err := db.Store.LineOf(rid)
@@ -553,13 +634,33 @@ func (db *DB) probeRedo(cands []redoCand) error {
 	return nil
 }
 
+// applyRedo is the redo apply phase: version-checked, idempotent replay of
+// the candidate list. The parallel path partitions candidates by page —
+// same-page candidates keep their list order (same-slot version decisions
+// depend only on same-slot order, and a slot lives on exactly one page),
+// cross-page order is free because redo is per-object idempotent — so the
+// Redo counters and final images are identical at every worker count.
+func (db *DB) applyRedo(cands []redoCand, rep *RecoveryReport) error {
+	if w := db.parWorkers(); w > 1 {
+		return db.applyRedoPar(cands, rep, w)
+	}
+	for _, c := range cands {
+		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
+		if err := db.redoRecord(c.onto, c.rec, rid, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // redoLog replays one log view's post-checkpoint records on behalf of node
 // onto (the log owner itself for survivors; the coordinator for crashed
 // nodes).
 func (db *DB) redoLog(onto machine.NodeID, v *logView, isCrashed bool, rep *RecoveryReport) error {
-	for _, rec := range v.fromCkpt {
+	var redoErr error
+	v.scanFromCkpt(func(rec wal.Record) bool {
 		if rec.Type != wal.TypeUpdate && rec.Type != wal.TypeCLR {
-			continue
+			return true
 		}
 		if isCrashed {
 			// Only effects that are logically committed are repeated
@@ -569,15 +670,17 @@ func (db *DB) redoLog(onto machine.NodeID, v *logView, isCrashed bool, rep *Reco
 			case rec.NTA != 0 && v.ntaDone[rec.NTA]:
 			case v.committed[rec.Txn]:
 			default:
-				continue
+				return true
 			}
 		}
 		rid := heap.RID{Page: rec.Page, Slot: rec.Slot}
 		if err := db.redoRecord(onto, rec, rid, rep); err != nil {
-			return err
+			redoErr = err
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return redoErr
 }
 
 // redoRecord applies one update/CLR record if its effect is missing.
@@ -647,15 +750,15 @@ func (db *DB) undoCrashed(coord machine.NodeID, crashed []machine.NodeID, rep *R
 			versions map[uint64]bool
 		}
 		undoByTxn := make(map[wal.TxnID]map[heap.RID]*slotUndo)
-		for _, rec := range v.recs {
+		v.scan(func(rec wal.Record) bool {
 			if rec.Type != wal.TypeUpdate {
-				continue
+				return true
 			}
 			if v.committed[rec.Txn] || v.aborted[rec.Txn] {
-				continue
+				return true
 			}
 			if rec.NTA != 0 && v.ntaDone[rec.NTA] {
-				continue // early-committed structural change: keep
+				return true // early-committed structural change: keep
 			}
 			found[rec.Txn] = true
 			m := undoByTxn[rec.Txn]
@@ -672,7 +775,8 @@ func (db *DB) undoCrashed(coord machine.NodeID, crashed []machine.NodeID, rep *R
 				m[rid] = su
 			}
 			su.versions[rec.Version] = true
-		}
+			return true
+		})
 		for txn, m := range undoByTxn {
 			for rid, su := range m {
 				cur, err := db.Read(coord, rid)
@@ -712,71 +816,137 @@ func (db *DB) undoCrashed(coord machine.NodeID, crashed []machine.NodeID, rep *R
 // version belonging to a transaction that is still active; otherwise the
 // record is no longer active and the tag is nulled.
 func (db *DB) undoTagScan(alive, crashed []machine.NodeID, rep *RecoveryReport) error {
-	down := make(map[machine.NodeID]bool, len(crashed))
-	for _, c := range crashed {
-		down[c] = true
+	if w := db.parWorkers(); w > 1 {
+		return db.undoTagScanPar(alive, crashed, rep, w)
 	}
-	// Per-surviving-node index: (rid, version) -> updating transaction.
-	type slotVer struct {
-		rid heap.RID
-		ver uint64
-	}
+	down := nodeSet(crashed)
+	// Per-surviving-node index, built lazily on the first surviving tag that
+	// names the node: (rid, version) -> updating transaction.
 	taggers := make(map[machine.NodeID]map[slotVer]wal.TxnID, len(alive))
 	taggerIndex := func(n machine.NodeID) map[slotVer]wal.TxnID {
 		if m, ok := taggers[n]; ok {
 			return m
 		}
-		m := make(map[slotVer]wal.TxnID)
-		for _, rec := range db.Logs[n].Records(1) {
-			if rec.Type == wal.TypeUpdate && rec.NTA == 0 {
-				m[slotVer{heap.RID{Page: rec.Page, Slot: rec.Slot}, rec.Version}] = rec.Txn
-			}
-		}
+		m := db.buildTaggerIndex(n)
 		taggers[n] = m
 		return m
 	}
+	// Node at a time: scan the node's cached lines (read-only), then apply
+	// its actions before the next node's scan. An applied undo migrates the
+	// line exclusively to the fixer, so later nodes' CachedLines snapshots no
+	// longer include it — each rid is repaired exactly once.
 	for _, nd := range alive {
-		for _, l := range db.M.CachedLines(nd) {
-			p, firstSlot, ok := db.Store.SlotOfLine(l)
-			if !ok {
-				continue
+		acts, lines, err := db.scanNodeTags(nd, down, taggerIndex)
+		if err != nil {
+			return err
+		}
+		rep.TagScanLines += lines
+		if err := db.applyTagActions(acts, crashed, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeSet builds a membership set from a node list.
+func nodeSet(nodes []machine.NodeID) map[machine.NodeID]bool {
+	s := make(map[machine.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		s[n] = true
+	}
+	return s
+}
+
+// slotVer keys a tagger index: one logged update version of one slot.
+type slotVer struct {
+	rid heap.RID
+	ver uint64
+}
+
+// buildTaggerIndex indexes node n's log by (rid, version) -> updating
+// transaction, for stale-tag verification. The log is iterated in place
+// (wal.Log.Scan); the callback only fills the map, so it is safe under the
+// log mutex.
+func (db *DB) buildTaggerIndex(n machine.NodeID) map[slotVer]wal.TxnID {
+	m := make(map[slotVer]wal.TxnID)
+	db.Logs[n].Scan(1, func(rec wal.Record) bool {
+		if rec.Type == wal.TypeUpdate && rec.NTA == 0 {
+			m[slotVer{heap.RID{Page: rec.Page, Slot: rec.Slot}, rec.Version}] = rec.Txn
+		}
+		return true
+	})
+	return m
+}
+
+// tagAction is one repair decision produced by a tag scan: either an undo of
+// a dead transaction's migrated update (undo=true; tag is the crashed node
+// the record's tag named) or a stale-tag clear (undo=false).
+type tagAction struct {
+	nd   machine.NodeID // the scanning node, which performs the repair
+	rid  heap.RID
+	tag  machine.NodeID
+	undo bool
+}
+
+// scanNodeTags scans nd's cached database lines read-only and returns the
+// repair actions they call for, plus the number of lines examined. All
+// coherency traffic is read hits on lines nd already caches, so concurrent
+// scans of different nodes do not disturb each other's residency.
+func (db *DB) scanNodeTags(nd machine.NodeID, down map[machine.NodeID]bool, taggerIndex func(machine.NodeID) map[slotVer]wal.TxnID) ([]tagAction, int, error) {
+	var acts []tagAction
+	lines := 0
+	for _, l := range db.M.CachedLines(nd) {
+		p, firstSlot, ok := db.Store.SlotOfLine(l)
+		if !ok {
+			continue
+		}
+		lines++
+		for i := 0; i < db.Store.Layout.RecsPerLine; i++ {
+			rid := heap.RID{Page: p, Slot: uint16(firstSlot + i)}
+			sd, err := db.Store.ReadSlot(nd, rid)
+			if err != nil {
+				return nil, lines, err
 			}
-			rep.TagScanLines++
-			for i := 0; i < db.Store.Layout.RecsPerLine; i++ {
-				rid := heap.RID{Page: p, Slot: uint16(firstSlot + i)}
-				sd, err := db.Store.ReadSlot(nd, rid)
-				if err != nil {
-					return err
+			switch {
+			case sd.Tag == machine.NoNode:
+			case down[sd.Tag]:
+				acts = append(acts, tagAction{nd: nd, rid: rid, tag: sd.Tag, undo: true})
+			default:
+				// Tag names a surviving node: verify against its log.
+				legit := false
+				if txn, ok := taggerIndex(sd.Tag)[slotVer{rid, sd.Version}]; ok {
+					db.mu.Lock()
+					if st, known := db.txns[txn]; known && st.status == TxnActive && !st.crashed {
+						legit = true
+					}
+					db.mu.Unlock()
 				}
-				switch {
-				case sd.Tag == machine.NoNode:
-				case down[sd.Tag]:
-					img, err := db.lastCommittedFromStable(nd, rid, crashed)
-					if err != nil {
-						return err
-					}
-					if err := db.installImage(nd, rid, img, wal.MakeTxnID(sd.Tag, 0)); err != nil {
-						return err
-					}
-					rep.UndoApplied++
-				default:
-					// Tag names a surviving node: verify against its log.
-					legit := false
-					if txn, ok := taggerIndex(sd.Tag)[slotVer{rid, sd.Version}]; ok {
-						db.mu.Lock()
-						if st, known := db.txns[txn]; known && st.status == TxnActive && !st.crashed {
-							legit = true
-						}
-						db.mu.Unlock()
-					}
-					if !legit {
-						if err := db.clearStaleTag(nd, rid); err != nil {
-							return err
-						}
-					}
+				if !legit {
+					acts = append(acts, tagAction{nd: nd, rid: rid, tag: sd.Tag})
 				}
 			}
 		}
+	}
+	return acts, lines, nil
+}
+
+// applyTagActions performs the repairs a tag scan decided on.
+func (db *DB) applyTagActions(acts []tagAction, crashed []machine.NodeID, rep *RecoveryReport) error {
+	for _, a := range acts {
+		if !a.undo {
+			if err := db.clearStaleTag(a.nd, a.rid); err != nil {
+				return err
+			}
+			continue
+		}
+		img, err := db.lastCommittedFromStable(a.nd, a.rid, crashed)
+		if err != nil {
+			return err
+		}
+		if err := db.installImage(a.nd, a.rid, img, wal.MakeTxnID(a.tag, 0)); err != nil {
+			return err
+		}
+		rep.UndoApplied++
 	}
 	return nil
 }
@@ -808,16 +978,16 @@ func (db *DB) lastCommittedFromStable(nd machine.NodeID, rid heap.RID, crashed [
 		if err != nil {
 			return nil, err
 		}
-		for _, rec := range v.recs {
+		v.scan(func(rec wal.Record) bool {
 			if rec.Page != rid.Page || rec.Slot != rid.Slot {
-				continue
+				return true
 			}
 			committedEffect := false
 			switch {
 			case rec.Type == wal.TypeCLR:
 				committedEffect = true
 			case rec.Type != wal.TypeUpdate:
-				continue
+				return true
 			case rec.NTA != 0 && v.ntaDone[rec.NTA]:
 				committedEffect = true
 			case v.committed[rec.Txn]:
@@ -827,7 +997,8 @@ func (db *DB) lastCommittedFromStable(nd machine.NodeID, rid heap.RID, crashed [
 				bestVersion = rec.Version
 				best = rec.After
 			}
-		}
+			return true
+		})
 	}
 	if best != nil {
 		return best, nil
@@ -856,46 +1027,64 @@ func (db *DB) lastCommittedFromStable(nd machine.NodeID, rid heap.RID, crashed [
 // idempotent (a present holder or waiter entry is not duplicated), so
 // surviving LCBs are unaffected while destroyed ones are rebuilt — with
 // read locks included, which is why IFA logs them.
-func (db *DB) replaySurvivorLocks(alive []machine.NodeID) (int, error) {
+func (db *DB) replaySurvivorLocks(alive []machine.NodeID, rep *RecoveryReport) (int, error) {
 	db.Locks.SetLogSuppressed(true)
 	defer db.Locks.SetLogSuppressed(false)
+	if w := db.parWorkers(); w > 1 {
+		return db.replaySurvivorLocksPar(alive, rep, w)
+	}
 	replayed := 0
 	for _, n := range alive {
-		type lockKey struct {
-			txn  wal.TxnID
-			name uint64
+		nr, err := db.replayNodeLocks(n)
+		replayed += nr
+		if err != nil {
+			return replayed, err
 		}
-		held := make(map[lockKey]uint8)
-		order := []lockKey{}
-		for _, rec := range db.Logs[n].Records(1) {
-			k := lockKey{rec.Txn, rec.Lock}
-			switch rec.Type {
-			case wal.TypeLockAcquire:
-				if _, ok := held[k]; !ok {
-					order = append(order, k)
-				}
-				held[k] = rec.Mode
-			case wal.TypeLockRelease:
-				delete(held, k)
+	}
+	return replayed, nil
+}
+
+// replayNodeLocks replays one surviving node's logical lock log (the per-node
+// unit the parallel pipeline fans out over; each node's pre-crash holdings
+// were simultaneously granted, hence mutually compatible, so per-node replays
+// re-grant without waiting in any order).
+func (db *DB) replayNodeLocks(n machine.NodeID) (int, error) {
+	type lockKey struct {
+		txn  wal.TxnID
+		name uint64
+	}
+	held := make(map[lockKey]uint8)
+	order := []lockKey{}
+	db.Logs[n].Scan(1, func(rec wal.Record) bool {
+		k := lockKey{rec.Txn, rec.Lock}
+		switch rec.Type {
+		case wal.TypeLockAcquire:
+			if _, ok := held[k]; !ok {
+				order = append(order, k)
 			}
+			held[k] = rec.Mode
+		case wal.TypeLockRelease:
+			delete(held, k)
 		}
-		for _, k := range order {
-			mode, ok := held[k]
-			if !ok {
-				continue
-			}
-			db.mu.Lock()
-			st, known := db.txns[k.txn]
-			active := known && st.status == TxnActive && !st.crashed
-			db.mu.Unlock()
-			if !active {
-				continue
-			}
-			if _, err := db.Locks.Acquire(n, k.txn, importName(k.name), importMode(mode)); err != nil {
-				return replayed, err
-			}
-			replayed++
+		return true
+	})
+	replayed := 0
+	for _, k := range order {
+		mode, ok := held[k]
+		if !ok {
+			continue
 		}
+		db.mu.Lock()
+		st, known := db.txns[k.txn]
+		active := known && st.status == TxnActive && !st.crashed
+		db.mu.Unlock()
+		if !active {
+			continue
+		}
+		if _, err := db.Locks.Acquire(n, k.txn, importName(k.name), importMode(mode)); err != nil {
+			return replayed, err
+		}
+		replayed++
 	}
 	return replayed, nil
 }

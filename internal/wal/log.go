@@ -360,6 +360,25 @@ func (l *Log) Records(from LSN) []Record {
 	return out
 }
 
+// Scan calls fn for every record with LSN >= from (use 1 for all) in LSN
+// order, stopping early if fn returns false. The whole scan runs under the
+// log mutex with no copying, so it is the zero-allocation alternative to
+// Records for recovery's hot read-only passes. Retaining a Record value is
+// safe (records are never mutated in place), but fn must not call back into
+// this Log — an Append/Force from inside fn would self-deadlock.
+func (l *Log) Scan(from LSN, fn func(Record) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.first {
+		from = l.first
+	}
+	for i := int(from - l.first); i < len(l.recs); i++ {
+		if !fn(l.recs[i]) {
+			return
+		}
+	}
+}
+
 // Get returns the record at the given LSN.
 func (l *Log) Get(lsn LSN) (Record, bool) {
 	l.mu.Lock()

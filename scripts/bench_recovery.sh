@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Runs the recovery benchmarks (E5 restart sweep + E18 parallel-recovery
+# sweep) and emits BENCH_recovery.json — the committed perf-trajectory
+# record. Usage:
+#
+#   scripts/bench_recovery.sh [output.json]
+#
+# The JSON carries every raw `go test -bench` sample line plus the custom
+# speedup metrics, alongside the host facts (gomaxprocs in particular) needed
+# to interpret them: parallel-recovery speedup is host wall-clock and is
+# bounded by GOMAXPROCS, so the >= 2x-at-4-workers expectation only applies
+# when gomaxprocs >= 4. Parsing is plain awk so the script runs anywhere the
+# go toolchain does.
+set -eu
+
+out="${1:-BENCH_recovery.json}"
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRestartRecovery|BenchmarkParallelRecovery' \
+    -benchtime=1x -count=3 . | tee "$raw" >&2
+
+gomaxprocs="$(go run ./scripts/gomaxprocs 2>/dev/null || true)"
+if [ -z "$gomaxprocs" ]; then
+    gomaxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+fi
+
+awk -v gomaxprocs="$gomaxprocs" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+BEGIN { nb = 0; ns = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^Benchmark/ {
+    # BenchmarkX-N  1  123456 ns/op  [value unit]...
+    name = $1; sub(/-[0-9]+$/, "", name)
+    bench[nb] = name; iters[nb] = $2; nsop[nb] = $3
+    extra[nb] = ""
+    for (i = 5; i + 1 <= NF; i += 2) {
+        if (extra[nb] != "") extra[nb] = extra[nb] ","
+        extra[nb] = extra[nb] sprintf("{\"value\":%s,\"unit\":\"%s\"}", $(i), jesc($(i+1)))
+        # Track the per-worker speedup metrics across -count repetitions.
+        if ($(i+1) ~ /^speedup\//) { ssum[$(i+1)] += $(i); sn[$(i+1)]++ }
+    }
+    nb++
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"note\": \"parallel-recovery speedup is host wall-clock; the >=2x @ 4 workers expectation applies when gomaxprocs >= 4\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < nb; i++) {
+        printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"metrics\":[%s]}%s\n", \
+            jesc(bench[i]), iters[i], nsop[i], extra[i], (i < nb - 1 ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"speedup_mean\": {"
+    first = 1
+    for (k in sn) {
+        if (!first) printf ","
+        first = 0
+        printf "\"%s\":%.3f", jesc(k), ssum[k] / sn[k]
+    }
+    printf "}\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out (gomaxprocs=$gomaxprocs)" >&2

@@ -1,0 +1,14 @@
+// Command gomaxprocs prints runtime.GOMAXPROCS(0) — the parallelism the
+// benchmark host actually offers. scripts/bench_recovery.sh records it in
+// BENCH_recovery.json because parallel-recovery speedup is meaningless
+// without it.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.GOMAXPROCS(0))
+}
