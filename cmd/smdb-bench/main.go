@@ -6,6 +6,7 @@
 //
 //	smdb-bench [-exp all|table1|linelock|...] [-seed N]
 //	           [-trace out.json] [-metrics] [-http 127.0.0.1:8321]
+//	           [-audit] [-window 1ms]
 //
 // The observability flags are the shared set (internal/obscli): -trace
 // writes a Chrome trace-event JSON file (load it at ui.perfetto.dev or
@@ -13,6 +14,8 @@
 // phase spans in particular; -metrics prints the observability layer's
 // Prometheus text exposition and latency table after the experiments; -http
 // serves the live introspection endpoints while the experiments run.
+// The online auditor's census is E19's subject (`-exp audit`), which
+// attaches its own per-arm auditors and needs no flags.
 package main
 
 import (
@@ -182,6 +185,14 @@ var experiments = []experiment{
 				workers = []int{0, obsFlags.RecoverWorkers}
 			}
 			res, err := harness.RunParRecovery(seed, workers)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
+	{"audit", "E19", "online-auditor overhead and violation census", "sections 3-4 (the LBM invariant, checked live); E11's ablation, online",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunAuditOverhead(seed)
 			if err != nil {
 				return "", err
 			}

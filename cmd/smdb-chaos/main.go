@@ -12,7 +12,7 @@
 //	           [-precovery 0.3] [-pcoordinator 0.5] [-pioerror 0.05]
 //	           [-maxcrashes 2] [-v] [-broken]
 //	           [-trace out.json] [-metrics] [-http 127.0.0.1:8321]
-//	           [-flightdir dumps/]
+//	           [-flightdir dumps/] [-audit] [-window 1ms]
 //
 // -seeds N sweeps N consecutive seeds starting at -seed. -broken runs the
 // AblatedNoLBM negative control instead and *expects* the harness to catch
@@ -23,7 +23,11 @@
 // dependency-graph explainer: every recovery's verdicts are cross-checked
 // against the IFA checker, -flightdir captures a flight-recorder dump for
 // every violating episode, and -http serves the live dependency graph of
-// the seed currently running.
+// the seed currently running. -audit arms the online IFA auditor on top:
+// per-transaction audit trails, continuous logging-before-migration checks
+// (violations fail a real-protocol sweep and are *required* under -broken),
+// and windowed time-series metrics with the anomaly watchdog, served at
+// /audit/txn, /audit/violations, and /timeseries.
 package main
 
 import (
@@ -96,6 +100,7 @@ func main() {
 
 	violating, failed := 0, 0
 	verdicts, doomed, mismatched := 0, 0, 0
+	auditViolations, auditAnomalies, auditSeeds := 0, 0, 0
 	for i := 0; i < *seeds; i++ {
 		s := *seed + int64(i)
 		db, err := recovery.New(recovery.Config{
@@ -139,6 +144,11 @@ func main() {
 		}
 		verdicts += res.Verdicts
 		doomed += res.DoomedVerdicts
+		auditViolations += res.AuditViolations
+		auditAnomalies += res.AuditAnomalies
+		if res.AuditViolations > 0 {
+			auditSeeds++
+		}
 		if len(res.ExplainMismatches) > 0 {
 			// The dependency explainer and the IFA checker disagreeing is a
 			// harness bug regardless of the protocol under test.
@@ -158,6 +168,10 @@ func main() {
 	if verdicts > 0 {
 		fmt.Printf("explainer: %d verdicts, %d doomed survivors, %d seeds with checker mismatches\n",
 			verdicts, doomed, mismatched)
+	}
+	if obsFlags.Audit {
+		fmt.Printf("online auditor: %d violation(s) on %d seed(s), %d watchdog anomaly(ies)\n",
+			auditViolations, auditSeeds, auditAnomalies)
 	}
 	if dumps := stack.Flight.Dumps(); len(dumps) > 0 {
 		fmt.Printf("flight recorder: %d dumps under %s\n", len(dumps), obsFlags.FlightDir)
@@ -179,11 +193,19 @@ func main() {
 			fmt.Printf("FAIL: the %s negative control produced no IFA violation over %d seeds — the harness is blind\n", proto, *seeds)
 			os.Exit(1)
 		}
+		if obsFlags.Audit && auditViolations == 0 {
+			fmt.Printf("FAIL: the checker caught the broken %s protocol but the online auditor stayed silent\n", proto)
+			os.Exit(1)
+		}
 		fmt.Printf("PASS: caught the broken %s protocol on %d/%d seeds\n", proto, violating, *seeds)
 		return
 	}
 	if violating > 0 {
 		fmt.Printf("FAIL: IFA violations on %d/%d seeds\n", violating, *seeds)
+		os.Exit(1)
+	}
+	if auditViolations > 0 {
+		fmt.Printf("FAIL: the online auditor raised %d violation(s) on %d/%d seeds\n", auditViolations, auditSeeds, *seeds)
 		os.Exit(1)
 	}
 	fmt.Printf("PASS: zero IFA violations over %d seeds x %d episodes\n", *seeds, *episodes)

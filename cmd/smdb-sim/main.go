@@ -9,13 +9,17 @@
 //	         [-sharing 0.6] [-recsperline 4] [-coherency invalidate]
 //	         [-txns 8] [-ops 10] [-seed 1]
 //	         [-trace out.json] [-metrics] [-http 127.0.0.1:8321]
-//	         [-httphold 30s] [-flightdir dumps/]
+//	         [-httphold 30s] [-flightdir dumps/] [-audit] [-window 1ms]
 //
 // The observability flags are the shared set (internal/obscli): -trace
 // writes the run as Chrome trace-event JSON (load it at ui.perfetto.dev),
 // -metrics prints the latency histograms and event counts, -http serves the
 // live introspection endpoints while the run executes, and -flightdir
-// enables crash flight-recorder dumps.
+// enables crash flight-recorder dumps. -audit arms the online IFA auditor
+// (per-transaction audit trails, continuous logging-before-migration
+// checks, and -window-bucketed time-series metrics with the anomaly
+// watchdog), served at /audit/txn, /audit/violations, and /timeseries and
+// summarized after the run.
 package main
 
 import (

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"smdb/internal/recovery"
+)
+
+func TestAuditOverheadShapes(t *testing.T) {
+	res, err := RunAuditOverhead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d, want 6 (3 protocols x off/on)", len(res.Points))
+	}
+	type key struct {
+		proto   recovery.Protocol
+		audited bool
+	}
+	byArm := map[key]AuditOverheadPoint{}
+	for _, p := range res.Points {
+		byArm[key{p.Protocol, p.Audited}] = p
+		if p.Updates == 0 || p.WallNS <= 0 {
+			t.Errorf("%v audited=%v: updates=%d wall=%dns", p.Protocol, p.Audited, p.Updates, p.WallNS)
+		}
+		// Bare arms carry no auditor, hence no census.
+		if !p.Audited && (p.Violations != 0 || p.Completed != 0 || p.Windows != 0 || p.Anomalies != 0) {
+			t.Errorf("%v bare arm reports a census: %+v", p.Protocol, p)
+		}
+	}
+	// The real protocols audit clean on the very schedule that lights the
+	// ablated control up.
+	for _, proto := range []recovery.Protocol{recovery.StableEager, recovery.VolatileSelectiveRedo} {
+		p := byArm[key{proto, true}]
+		if p.Violations != 0 {
+			t.Errorf("%v audited: %d violations, want 0", proto, p.Violations)
+		}
+		if p.Completed == 0 || p.Windows == 0 {
+			t.Errorf("%v audited: trails=%d windows=%d, want both > 0", proto, p.Completed, p.Windows)
+		}
+	}
+	abl := byArm[key{recovery.AblatedNoLBM, true}]
+	if abl.Violations == 0 || abl.Unlogged == 0 {
+		t.Errorf("ablated audited arm stayed clean: %+v", abl)
+	}
+	if abl.Unlogged > abl.Violations {
+		t.Errorf("ablated: unlogged %d > total %d", abl.Unlogged, abl.Violations)
+	}
+	if abl.Anomalies == 0 {
+		t.Errorf("ablated audited arm raised no watchdog anomaly: %+v", abl)
+	}
+
+	table := res.Table()
+	for _, want := range []string{"overhead", "unlogged", "anomalies", "ablated/no-lbm"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

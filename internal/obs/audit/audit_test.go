@@ -1,0 +1,338 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"smdb/internal/obs"
+)
+
+func ev(kind obs.Kind, node int32, sim, a, b int64) obs.Event {
+	return obs.Event{Kind: kind, Node: node, Sim: sim, A: a, B: b}
+}
+
+func txnID(node, seq int64) int64 { return node<<48 | seq }
+
+func TestTrailLifecycle(t *testing.T) {
+	a := New(Config{})
+	id := txnID(0, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 0, 10, id, 0))
+	a.NoteWrite(id, 0, 7, 0, 42, 20)
+	a.OnEvent(ev(obs.KindWALForce, 0, 30, 0, 42))
+	a.OnEvent(ev(obs.KindTxnCommit, 0, 40, id, 1000))
+
+	tr, ok := a.Trail(id)
+	if !ok {
+		t.Fatal("completed trail not found")
+	}
+	if tr.Outcome != "committed" || tr.Name != "t0.1" || tr.Updates != 1 {
+		t.Errorf("trail = %+v", tr)
+	}
+	if tr.BeginSim != 10 || tr.EndSim != 40 {
+		t.Errorf("trail times = %d..%d, want 10..40", tr.BeginSim, tr.EndSim)
+	}
+	kinds := make([]string, len(tr.Steps))
+	for i, s := range tr.Steps {
+		kinds[i] = s.Kind
+	}
+	want := "begin update log-force committed"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Errorf("steps = %q, want %q", got, want)
+	}
+	if tr.Steps[1].LSN != 42 || tr.Steps[1].Line != 7 {
+		t.Errorf("update step = %+v", tr.Steps[1])
+	}
+	sum := a.Summary()
+	if !sum.Enabled || sum.Active != 0 || sum.Completed != 1 || sum.Violations != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestUnloggedExposureViolation(t *testing.T) {
+	a := New(Config{})
+	id := txnID(0, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 0, 10, id, 0))
+	a.NoteWrite(id, 0, 5, 0, 0 /* no log record */, 20)
+
+	// Dirty line 5 migrates to node 1: the deferred-logging hazard.
+	a.OnEvent(ev(obs.KindMigrate, 1, 30, 5, 0))
+	if n := a.ViolationCount(); n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+	vs := a.Violations()
+	v := vs[0]
+	if v.Kind != ViolationUnlogged || v.Line != 5 || v.To != 1 || v.Event != "migrate" || v.Txn != id {
+		t.Errorf("violation = %+v", v)
+	}
+	if len(v.Trail.Steps) == 0 {
+		t.Error("violation carries no evidence trail")
+	}
+
+	// Same (line, destination) again: deduplicated.
+	a.OnEvent(ev(obs.KindMigrate, 1, 40, 5, 0))
+	if n := a.ViolationCount(); n != 1 {
+		t.Errorf("violations after duplicate exposure = %d, want 1", n)
+	}
+	// A different destination is a fresh breach.
+	a.OnEvent(ev(obs.KindReplicate, 2, 50, 5, 1))
+	if n := a.ViolationCount(); n != 2 {
+		t.Errorf("violations after second destination = %d, want 2", n)
+	}
+	sum := a.Summary()
+	if sum.ViolationsByKind[ViolationUnlogged] != 2 {
+		t.Errorf("by-kind census = %+v", sum.ViolationsByKind)
+	}
+}
+
+func TestUnforcedExposureViolation(t *testing.T) {
+	a := New(Config{Stable: true})
+	id := txnID(0, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 0, 10, id, 0))
+	a.NoteWrite(id, 0, 5, 0, 42, 20)
+
+	// Exposure before the covering record is stable: unforced.
+	a.OnEvent(ev(obs.KindMigrate, 1, 30, 5, 0))
+	vs := a.Violations()
+	if len(vs) != 1 || vs[0].Kind != ViolationUnforced {
+		t.Fatalf("violations = %+v, want one unforced-exposure", vs)
+	}
+	if vs[0].LSN != 42 || vs[0].Forced != 0 {
+		t.Errorf("violation evidence = lsn %d forced %d, want 42/0", vs[0].LSN, vs[0].Forced)
+	}
+
+	// After a force covering the update, a fresh dirty line moves cleanly.
+	a.NoteWrite(id, 0, 6, 0, 43, 40)
+	a.OnEvent(ev(obs.KindWALForce, 0, 50, 0, 43))
+	a.OnEvent(ev(obs.KindMigrate, 1, 60, 6, 0))
+	if n := a.ViolationCount(); n != 1 {
+		t.Errorf("violations after covered exposure = %d, want still 1", n)
+	}
+}
+
+func TestVolatileCoverageSatisfies(t *testing.T) {
+	a := New(Config{Stable: false})
+	id := txnID(0, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 0, 10, id, 0))
+	a.NoteWrite(id, 0, 5, 0, 42, 20)
+	// Volatile policy: an unforced log record is enough.
+	a.OnEvent(ev(obs.KindMigrate, 1, 30, 5, 0))
+	if n := a.ViolationCount(); n != 0 {
+		t.Errorf("violations = %d, want 0 under volatile LBM", n)
+	}
+}
+
+func TestExposureToHomeNodeIgnored(t *testing.T) {
+	a := New(Config{})
+	id := txnID(0, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 0, 10, id, 0))
+	a.NoteWrite(id, 0, 5, 0, 0, 20)
+	// The line comes back home (abort undo fetch): same failure domain.
+	a.OnEvent(ev(obs.KindMigrate, 0, 30, 5, 1))
+	if n := a.ViolationCount(); n != 0 {
+		t.Errorf("violations = %d, want 0 for home-bound transfer", n)
+	}
+}
+
+func TestRecoverySuspendsChecks(t *testing.T) {
+	a := New(Config{})
+	survivor := txnID(1, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 1, 10, survivor, 0))
+	a.NoteWrite(survivor, 1, 9, 0, 0, 20)
+
+	// Node 0 crashes: recovery repair traffic must not be audited.
+	a.NoteCrash([]int32{0}, []int32{3}, 30)
+	a.OnEvent(ev(obs.KindMigrate, 2, 40, 9, 1))
+	if n := a.ViolationCount(); n != 0 {
+		t.Errorf("violations during recovery = %d, want 0 (checks suspended)", n)
+	}
+
+	// Recovery done: checking resumes.
+	a.NoteRecovered(nil, 50)
+	a.OnEvent(ev(obs.KindMigrate, 3, 60, 9, 2))
+	if n := a.ViolationCount(); n != 1 {
+		t.Errorf("violations after recovery = %d, want 1 (checks resumed)", n)
+	}
+}
+
+func TestCrashVictimOutcomes(t *testing.T) {
+	a := New(Config{})
+	loser := txnID(0, 1)
+	winner := txnID(0, 2)
+	bystander := txnID(1, 1)
+	for _, tc := range []struct {
+		id   int64
+		node int32
+	}{{loser, 0}, {winner, 0}, {bystander, 1}} {
+		a.OnEvent(ev(obs.KindTxnBegin, tc.node, 10, tc.id, 0))
+		a.NoteWrite(tc.id, tc.node, int32(tc.id%64), 0, int64(tc.id), 20)
+	}
+	a.NoteCrash([]int32{0}, nil, 30)
+	a.NoteRecovered([]int64{loser}, 40)
+
+	if tr, ok := a.Trail(loser); !ok || tr.Outcome != "recovery-aborted" {
+		t.Errorf("loser trail = %+v, %v", tr, ok)
+	}
+	if tr, ok := a.Trail(winner); !ok || tr.Outcome != "recovery-committed" {
+		t.Errorf("winner trail = %+v, %v", tr, ok)
+	}
+	// The bystander on the surviving node is still live.
+	if tr, ok := a.Trail(bystander); !ok || tr.Outcome != "active" {
+		t.Errorf("bystander trail = %+v, %v", tr, ok)
+	}
+	sum := a.Summary()
+	if sum.Active != 1 || sum.Completed != 2 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestTrailRingBound(t *testing.T) {
+	a := New(Config{TrailRing: 2})
+	for seq := int64(1); seq <= 3; seq++ {
+		id := txnID(0, seq)
+		a.OnEvent(ev(obs.KindTxnBegin, 0, seq*10, id, 0))
+		a.OnEvent(ev(obs.KindTxnCommit, 0, seq*10+5, id, 100))
+	}
+	if _, ok := a.Trail(txnID(0, 1)); ok {
+		t.Error("oldest trail survived a full ring")
+	}
+	if _, ok := a.Trail(txnID(0, 3)); !ok {
+		t.Error("newest trail missing")
+	}
+	a.mu.Lock()
+	recent := a.recentTrailsLocked()
+	a.mu.Unlock()
+	if len(recent) != 2 || recent[0].Txn != txnID(0, 3) || recent[1].Txn != txnID(0, 2) {
+		t.Errorf("recent ring = %+v, want newest-first [t0.3 t0.2]", recent)
+	}
+	if sum := a.Summary(); sum.Completed != 3 {
+		t.Errorf("completed total = %d, want 3 (ring bounds retention, not the count)", sum.Completed)
+	}
+}
+
+func TestTrailStepCap(t *testing.T) {
+	a := New(Config{TrailSteps: 4})
+	id := txnID(0, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 0, 10, id, 0))
+	for i := 0; i < 6; i++ {
+		a.NoteWrite(id, 0, int32(i), 0, int64(i+1), int64(20+i))
+	}
+	a.OnEvent(ev(obs.KindTxnCommit, 0, 100, id, 50))
+	tr, ok := a.Trail(id)
+	if !ok {
+		t.Fatal("trail not found")
+	}
+	if len(tr.Steps) != 4 {
+		t.Errorf("steps = %d, want capped at 4", len(tr.Steps))
+	}
+	if tr.DroppedSteps == 0 {
+		t.Error("dropped steps not counted")
+	}
+	if tr.Updates != 6 {
+		t.Errorf("updates = %d, want 6 (counter is exact even when steps drop)", tr.Updates)
+	}
+}
+
+func TestParseTxnID(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"t1.2", 1<<48 | 2, true},
+		{"t0.7", 7, true},
+		{" t3.1 ", 3<<48 | 1, true},
+		{"42", 42, true},
+		{"t1.x", 0, false},
+		{"bogus", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParseTxnID(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseTxnID(%q) = %d, %v, want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseTxnID(%q) accepted", tc.in)
+		}
+	}
+	if name := tname(1<<48 | 2); name != "t1.2" {
+		t.Errorf("tname round-trip = %q", name)
+	}
+}
+
+func TestWritersNilSafe(t *testing.T) {
+	var a *Auditor
+	if a.Enabled() {
+		t.Error("nil auditor claims enabled")
+	}
+	a.OnEvent(ev(obs.KindMigrate, 1, 10, 5, 0))
+	a.NoteWrite(1, 0, 5, 0, 1, 10)
+	a.NoteCrash(nil, nil, 0)
+	a.NoteRecovered(nil, 0)
+	if _, ok := a.Trail(1); ok {
+		t.Error("nil auditor found a trail")
+	}
+	if a.Violations() != nil || a.ViolationCount() != 0 || a.Anomalies() != nil {
+		t.Error("nil auditor reports data")
+	}
+	var sb strings.Builder
+	for _, fn := range []func() error{
+		func() error { return a.WriteAuditTxn(&sb, "") },
+		func() error { return a.WriteAuditViolations(&sb) },
+		func() error { return a.WriteTimeSeries(&sb) },
+	} {
+		sb.Reset()
+		if err := fn(); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), `"enabled": false`) {
+			t.Errorf("nil writer output = %q", sb.String())
+		}
+	}
+}
+
+func TestWriteAuditTxnJSON(t *testing.T) {
+	a := New(Config{})
+	id := txnID(0, 1)
+	a.OnEvent(ev(obs.KindTxnBegin, 0, 10, id, 0))
+	a.NoteWrite(id, 0, 5, 0, 0, 20)
+	a.OnEvent(ev(obs.KindMigrate, 1, 30, 5, 0))
+
+	var sb strings.Builder
+	if err := a.WriteAuditTxn(&sb, "t0.1"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"found": true`, `"name": "t0.1"`, `"kind": "violation"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trail JSON missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := a.WriteAuditTxn(&sb, "t9.9"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"found": false`) {
+		t.Errorf("missing-txn JSON = %q", sb.String())
+	}
+
+	sb.Reset()
+	if err := a.WriteAuditTxn(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"summary"`, `"active"`, `"recent"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("listing JSON missing %q", want)
+		}
+	}
+
+	sb.Reset()
+	if err := a.WriteAuditViolations(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total": 1`, ViolationUnlogged, `"trail"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("violations JSON missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package audit
+
+import (
+	"testing"
+
+	"smdb/internal/obs"
+)
+
+// The recovery layer calls the auditor's hooks on every update and the
+// observer fans every event into it, almost always with auditing disabled.
+// Like the nil observer and nil tracker, the nil-auditor fast path must cost
+// a pointer test and zero allocations; these benchmarks (with -benchmem) and
+// the allocation test pin that contract.
+
+func BenchmarkNilAuditorNoteWrite(b *testing.B) {
+	var a *Auditor
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.NoteWrite(1, 0, 5, int64(i), int64(i), int64(i))
+	}
+}
+
+func BenchmarkNilAuditorOnEvent(b *testing.B) {
+	var a *Auditor
+	e := obs.Event{Kind: obs.KindMigrate, Node: 1, A: 5, B: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Sim = int64(i)
+		a.OnEvent(e)
+	}
+}
+
+// BenchmarkEnabledAuditorNoteWrite is the comparison point: the price an
+// update pays once -audit turns the auditor on.
+func BenchmarkEnabledAuditorNoteWrite(b *testing.B) {
+	a := New(Config{})
+	a.OnEvent(obs.Event{Kind: obs.KindTxnBegin, Node: 0, Sim: 0, A: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.NoteWrite(1, 0, int32(i&7), int64(i), int64(i+1), int64(i))
+	}
+}
+
+func TestNilAuditorHooksDoNotAllocate(t *testing.T) {
+	var a *Auditor
+	e := obs.Event{Kind: obs.KindMigrate, Node: 1, A: 5, B: 0}
+	if n := testing.AllocsPerRun(100, func() {
+		a.NoteWrite(1, 0, 5, 0, 1, 10)
+		a.OnEvent(e)
+		a.NoteCrash(nil, nil, 0)
+		a.NoteRecovered(nil, 0)
+		_ = a.Enabled()
+		_ = a.ViolationCount()
+	}); n != 0 {
+		t.Errorf("disabled auditor hooks allocate %v times per call", n)
+	}
+}

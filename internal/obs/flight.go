@@ -24,26 +24,43 @@ type GraphWriter interface {
 	WriteGraphJSON(io.Writer) error
 }
 
+// AuditSource renders the online auditor's three surfaces (audit.Auditor
+// satisfies it; like GraphWriter, the interface lives here so obs does not
+// import its own subpackage). WriteAuditTxn with an empty id writes the
+// full trail listing.
+type AuditSource interface {
+	WriteAuditTxn(w io.Writer, id string) error
+	WriteAuditViolations(w io.Writer) error
+	WriteTimeSeries(w io.Writer) error
+}
+
 // DefaultFlightEvents is the per-node event tail retained in a dump.
 const DefaultFlightEvents = 256
 
-// maxDumps bounds the dumps one recorder writes, so a crash loop cannot
-// fill the disk; later dumps are counted but skipped.
+// maxDumps is the default dump budget, so a crash loop cannot fill the
+// disk; later dumps are counted but skipped. SetBudget overrides it.
 const maxDumps = 64
 
 // FlightRecorder writes crash dumps. A nil recorder is inert (all methods
 // are nil-receiver safe), so the engine hooks cost one pointer test when
 // disabled.
 type FlightRecorder struct {
-	mu      sync.Mutex
-	dir     string
-	lastN   int
-	seq     int
-	skipped int
-	obs     *Observer
-	graph   GraphWriter
-	stats   func(io.Writer) error
-	dumps   []string
+	mu       sync.Mutex
+	dir      string
+	lastN    int
+	seq      int
+	skipped  int
+	rotated  int
+	maxDumps int
+	maxBytes int64
+	rotate   bool
+	bytes    int64
+	obs      *Observer
+	graph    GraphWriter
+	audit    AuditSource
+	stats    func(io.Writer) error
+	dumps    []string
+	sizes    []int64
 }
 
 // NewFlightRecorder creates a recorder dumping into subdirectories of dir
@@ -53,21 +70,42 @@ func NewFlightRecorder(dir string, lastN int) *FlightRecorder {
 	if lastN <= 0 {
 		lastN = DefaultFlightEvents
 	}
-	return &FlightRecorder{dir: dir, lastN: lastN}
+	return &FlightRecorder{dir: dir, lastN: lastN, maxDumps: maxDumps}
 }
 
 // SetSources wires the recorder's data sources: the observer whose event
-// rings are tailed, an optional dependency-graph renderer, and an optional
-// stats writer (called once per dump; implementations typically print
-// deltas since the previous dump). Any may be nil.
-func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, stats func(io.Writer) error) {
+// rings are tailed, an optional dependency-graph renderer, an optional
+// audit source (the online auditor's violations, trails, and time series
+// join every dump), and an optional stats writer (called once per dump;
+// implementations typically print deltas since the previous dump). Any may
+// be nil.
+func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, stats func(io.Writer) error) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.obs = o
 	r.graph = g
+	r.audit = a
 	r.stats = stats
+	r.mu.Unlock()
+}
+
+// SetBudget overrides the recorder's dump budget. dumps bounds how many
+// dump directories may exist (0 = none: every Dump is skipped); bytes, when
+// > 0, bounds the total on-disk size — a dump that would exceed it is
+// written, measured, and removed (so even a lone dump larger than the
+// budget, MANIFEST included, leaves nothing behind). With rotate set, the
+// recorder deletes the oldest dump instead of skipping new ones once the
+// dump budget is full.
+func (r *FlightRecorder) SetBudget(dumps int, bytes int64, rotate bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.maxDumps = dumps
+	r.maxBytes = bytes
+	r.rotate = rotate
 	r.mu.Unlock()
 }
 
@@ -118,7 +156,19 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.seq >= maxDumps {
+	if r.rotate {
+		for len(r.dumps) > 0 && len(r.dumps) >= r.maxDumps {
+			os.RemoveAll(r.dumps[0])
+			r.bytes -= r.sizes[0]
+			r.dumps = r.dumps[1:]
+			r.sizes = r.sizes[1:]
+			r.rotated++
+		}
+		if r.maxDumps <= 0 {
+			r.skipped++
+			return "", nil
+		}
+	} else if r.seq >= r.maxDumps {
 		r.skipped++
 		return "", nil
 	}
@@ -152,12 +202,16 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		}
 	}
 
-	if err := r.writeFile(dir, "MANIFEST.txt", func(w io.Writer) error {
-		fmt.Fprintf(w, "reason: %s\nwall: %s\nevents-per-node: %d\nskipped-dumps: %d\n",
-			reason, time.Now().UTC().Format(time.RFC3339Nano), r.lastN, r.skipped)
+	var written int64
+	if err := r.writeFile(dir, "MANIFEST.txt", &written, func(w io.Writer) error {
+		fmt.Fprintf(w, "reason: %s\nwall: %s\nevents-per-node: %d\nskipped-dumps: %d\nrotated-dumps: %d\n",
+			reason, time.Now().UTC().Format(time.RFC3339Nano), r.lastN, r.skipped, r.rotated)
 		fmt.Fprintf(w, "files: MANIFEST.txt events.json events.txt")
 		if r.graph != nil {
 			fmt.Fprintf(w, " deps.dot deps.json")
+		}
+		if r.audit != nil {
+			fmt.Fprintf(w, " violations.json audit_trails.json timeseries.json")
 		}
 		if r.stats != nil {
 			fmt.Fprintf(w, " stats.txt")
@@ -172,9 +226,9 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		return "", err
 	}
 
-	if err := r.writeFile(dir, "events.json", func(w io.Writer) error {
+	if err := r.writeFile(dir, "events.json", &written, func(w io.Writer) error {
 		doc := struct {
-			Reason string                  `json:"reason"`
+			Reason string                   `json:"reason"`
 			Nodes  map[string][]flightEvent `json:"nodes"`
 		}{Reason: reason, Nodes: map[string][]flightEvent{}}
 		for n, evs := range byNode {
@@ -199,7 +253,7 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		return "", err
 	}
 
-	if err := r.writeFile(dir, "events.txt", func(w io.Writer) error {
+	if err := r.writeFile(dir, "events.txt", &written, func(w io.Writer) error {
 		for _, n := range nodes {
 			label := fmt.Sprintf("node %d", n)
 			if n == SystemNode {
@@ -220,30 +274,66 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 	}
 
 	if r.graph != nil {
-		if err := r.writeFile(dir, "deps.dot", r.graph.WriteDOT); err != nil {
+		if err := r.writeFile(dir, "deps.dot", &written, r.graph.WriteDOT); err != nil {
 			return "", err
 		}
-		if err := r.writeFile(dir, "deps.json", r.graph.WriteGraphJSON); err != nil {
+		if err := r.writeFile(dir, "deps.json", &written, r.graph.WriteGraphJSON); err != nil {
+			return "", err
+		}
+	}
+	if r.audit != nil {
+		if err := r.writeFile(dir, "violations.json", &written, r.audit.WriteAuditViolations); err != nil {
+			return "", err
+		}
+		if err := r.writeFile(dir, "audit_trails.json", &written, func(w io.Writer) error {
+			return r.audit.WriteAuditTxn(w, "")
+		}); err != nil {
+			return "", err
+		}
+		if err := r.writeFile(dir, "timeseries.json", &written, r.audit.WriteTimeSeries); err != nil {
 			return "", err
 		}
 	}
 	if r.stats != nil {
-		if err := r.writeFile(dir, "stats.txt", r.stats); err != nil {
+		if err := r.writeFile(dir, "stats.txt", &written, r.stats); err != nil {
 			return "", err
 		}
 	}
+	if r.maxBytes > 0 && r.bytes+written > r.maxBytes {
+		// The dump itself blew the byte budget (possibly on its own — even
+		// the MANIFEST counts); leave nothing behind.
+		os.RemoveAll(dir)
+		r.skipped++
+		return "", nil
+	}
+	r.bytes += written
 	r.dumps = append(r.dumps, dir)
+	r.sizes = append(r.sizes, written)
 	return dir, nil
 }
 
-func (r *FlightRecorder) writeFile(dir, name string, fn func(io.Writer) error) error {
+// countWriter tallies bytes for the recorder's byte budget.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (r *FlightRecorder) writeFile(dir, name string, total *int64, fn func(io.Writer) error) error {
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err
 	}
-	if err := fn(f); err != nil {
+	cw := &countWriter{w: f}
+	if err := fn(cw); err != nil {
 		f.Close()
 		return err
 	}
+	*total += cw.n
 	return f.Close()
 }

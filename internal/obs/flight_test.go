@@ -23,6 +23,23 @@ func (stubGraph) WriteGraphJSON(w io.Writer) error {
 	return err
 }
 
+// stubAudit is an AuditSource standing in for the online auditor (same
+// import constraint as stubGraph).
+type stubAudit struct{}
+
+func (stubAudit) WriteAuditTxn(w io.Writer, id string) error {
+	_, err := fmt.Fprintf(w, "{\"enabled\":true,\"id\":%q}\n", id)
+	return err
+}
+func (stubAudit) WriteAuditViolations(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true,\"total\":0,\"violations\":[]}\n")
+	return err
+}
+func (stubAudit) WriteTimeSeries(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true,\"windows\":[]}\n")
+	return err
+}
+
 func TestFlightRecorderDump(t *testing.T) {
 	o := NewWithCapacity(64)
 	o.Instant(KindMigrate, 0, 100, 12, 1)
@@ -30,7 +47,7 @@ func TestFlightRecorderDump(t *testing.T) {
 	o.Instant(KindRecovery, SystemNode, 300, 0, 0)
 
 	r := NewFlightRecorder(t.TempDir(), 16)
-	r.SetSources(o, stubGraph{}, func(w io.Writer) error {
+	r.SetSources(o, stubGraph{}, nil, func(w io.Writer) error {
 		_, err := io.WriteString(w, "stats delta: {}\n")
 		return err
 	})
@@ -90,7 +107,7 @@ func TestFlightRecorderLastNTail(t *testing.T) {
 		o.Instant(KindMigrate, 0, int64(i), int64(i), 0)
 	}
 	r := NewFlightRecorder(t.TempDir(), 8)
-	r.SetSources(o, nil, nil)
+	r.SetSources(o, nil, nil, nil)
 	dir, err := r.Dump("crash")
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +141,7 @@ func TestFlightRecorderBudget(t *testing.T) {
 	o := NewWithCapacity(8)
 	root := t.TempDir()
 	r := NewFlightRecorder(root, 4)
-	r.SetSources(o, nil, nil)
+	r.SetSources(o, nil, nil, nil)
 	for i := 0; i < maxDumps+3; i++ {
 		if _, err := r.Dump(fmt.Sprintf("crash-%d", i)); err != nil {
 			t.Fatal(err)
@@ -142,9 +159,126 @@ func TestFlightRecorderBudget(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderAuditFiles(t *testing.T) {
+	o := NewWithCapacity(8)
+	o.Instant(KindCrash, 0, 100, 4, 2)
+	r := NewFlightRecorder(t.TempDir(), 8)
+	r.SetSources(o, nil, stubAudit{}, nil)
+	dir, err := r.Dump("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"violations.json", "audit_trails.json", "timeseries.json"} {
+		raw, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("dump missing %s: %v", f, err)
+			continue
+		}
+		if !strings.Contains(string(raw), `"enabled":true`) {
+			t.Errorf("%s = %q", f, raw)
+		}
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(manifest), "violations.json audit_trails.json timeseries.json") {
+		t.Errorf("MANIFEST does not list the audit files:\n%s", manifest)
+	}
+}
+
+func TestFlightRecorderZeroBudget(t *testing.T) {
+	root := t.TempDir()
+	r := NewFlightRecorder(root, 4)
+	r.SetSources(NewWithCapacity(8), nil, nil, nil)
+	r.SetBudget(0, 0, false)
+	dir, err := r.Dump("crash")
+	if err != nil || dir != "" {
+		t.Errorf("Dump with zero budget = %q, %v", dir, err)
+	}
+	r.SetBudget(0, 0, true) // rotate mode with a zero budget is also "none"
+	if dir, err := r.Dump("crash"); err != nil || dir != "" {
+		t.Errorf("rotate Dump with zero budget = %q, %v", dir, err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("zero budget left %d dirs behind", len(entries))
+	}
+	if r.Dumps() != nil {
+		t.Errorf("Dumps() = %v, want none", r.Dumps())
+	}
+}
+
+func TestFlightRecorderByteBudgetSmallerThanManifest(t *testing.T) {
+	root := t.TempDir()
+	r := NewFlightRecorder(root, 4)
+	r.SetSources(NewWithCapacity(8), nil, nil, nil)
+	// Even a lone MANIFEST.txt exceeds 10 bytes: the dump must be written,
+	// measured, and removed without leaving a partial directory.
+	r.SetBudget(64, 10, false)
+	dir, err := r.Dump("crash")
+	if err != nil || dir != "" {
+		t.Errorf("over-budget Dump = %q, %v", dir, err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("over-budget dump left %d dirs behind", len(entries))
+	}
+}
+
+func TestFlightRecorderRotation(t *testing.T) {
+	root := t.TempDir()
+	r := NewFlightRecorder(root, 4)
+	r.SetSources(NewWithCapacity(8), nil, nil, nil)
+	r.SetBudget(3, 0, true)
+	// Fill the directory to its dump budget, then keep dumping: rotation
+	// must evict the oldest instead of skipping the newest.
+	var dirs []string
+	for i := 0; i < 5; i++ {
+		dir, err := r.Dump(fmt.Sprintf("crash-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dir == "" {
+			t.Fatalf("rotating Dump %d skipped", i)
+		}
+		dirs = append(dirs, dir)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("rotation kept %d dirs, budget is 3", len(entries))
+	}
+	for _, old := range dirs[:2] {
+		if _, err := os.Stat(old); !os.IsNotExist(err) {
+			t.Errorf("oldest dump %s not evicted", old)
+		}
+	}
+	got := r.Dumps()
+	if len(got) != 3 || got[0] != dirs[2] || got[2] != dirs[4] {
+		t.Errorf("Dumps() = %v, want the newest three", got)
+	}
+	// The next MANIFEST records how many were rotated away.
+	manifest, err := os.ReadFile(filepath.Join(got[2], "MANIFEST.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(manifest), "rotated-dumps: 2") {
+		t.Errorf("MANIFEST rotated count:\n%s", manifest)
+	}
+}
+
 func TestFlightRecorderNil(t *testing.T) {
 	var r *FlightRecorder
-	r.SetSources(nil, nil, nil)
+	r.SetSources(nil, nil, nil, nil)
 	dir, err := r.Dump("crash")
 	if err != nil || dir != "" {
 		t.Errorf("nil recorder Dump = %q, %v", dir, err)

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -17,15 +19,20 @@ import (
 
 // NewHTTPHandler builds the introspection mux:
 //
-//	/healthz        liveness ("ok events=N uptime=...")
-//	/metrics        Prometheus text exposition
-//	/trace          Chrome trace-event JSON snapshot (Perfetto-loadable)
-//	/deps           dependency graph, DOT (default) or ?format=json
-//	/debug/pprof/   the standard Go profiler endpoints
+//	/healthz            liveness ("ok events=N uptime=...")
+//	/metrics            Prometheus text exposition
+//	/trace              Chrome trace-event JSON snapshot (Perfetto-loadable)
+//	/deps               dependency graph, DOT (default) or ?format=json
+//	/audit/txn/{id}     one transaction's audit trail ("t0.3" or the packed
+//	                    integer id); bare /audit/txn lists all trails
+//	/audit/violations   the online IFA auditor's typed violations
+//	/timeseries         windowed metrics ring + anomaly watchdog findings
+//	/debug/pprof/       the standard Go profiler endpoints
 //
-// o may be nil (endpoints degrade to empty documents) and graph may be nil
-// (/deps explains that no tracker is attached).
-func NewHTTPHandler(o *Observer, graph GraphWriter) http.Handler {
+// o may be nil (endpoints degrade to empty documents), graph may be nil
+// (/deps explains that no tracker is attached), and aud may be nil (the
+// audit endpoints report {"enabled": false}).
+func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -66,6 +73,31 @@ func NewHTTPHandler(o *Observer, graph GraphWriter) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	auditJSON := func(w http.ResponseWriter, write func(io.Writer) error) {
+		w.Header().Set("Content-Type", "application/json")
+		if aud == nil {
+			fmt.Fprintln(w, `{"enabled": false}`)
+			return
+		}
+		if err := write(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	auditTxn := func(w http.ResponseWriter, id string) {
+		auditJSON(w, func(out io.Writer) error { return aud.WriteAuditTxn(out, id) })
+	}
+	mux.HandleFunc("/audit/txn", func(w http.ResponseWriter, _ *http.Request) {
+		auditTxn(w, "")
+	})
+	mux.HandleFunc("/audit/txn/", func(w http.ResponseWriter, r *http.Request) {
+		auditTxn(w, strings.TrimPrefix(r.URL.Path, "/audit/txn/"))
+	})
+	mux.HandleFunc("/audit/violations", func(w http.ResponseWriter, _ *http.Request) {
+		auditJSON(w, func(out io.Writer) error { return aud.WriteAuditViolations(out) })
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		auditJSON(w, func(out io.Writer) error { return aud.WriteTimeSeries(out) })
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -77,7 +109,7 @@ func NewHTTPHandler(o *Observer, graph GraphWriter) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "smdb introspection endpoints:\n  /healthz\n  /metrics\n  /trace\n  /deps[?format=json]\n  /debug/pprof/")
+		fmt.Fprintln(w, "smdb introspection endpoints:\n  /healthz\n  /metrics\n  /trace\n  /deps[?format=json]\n  /audit/txn[/{id}]\n  /audit/violations\n  /timeseries\n  /debug/pprof/")
 	})
 	return mux
 }
@@ -93,14 +125,14 @@ type HTTPServer struct {
 // ServeHTTP starts the introspection server on addr (e.g. "127.0.0.1:8321"
 // or "127.0.0.1:0") in a background goroutine and returns once the listener
 // is bound. Close with Shutdown.
-func ServeHTTP(addr string, o *Observer, graph GraphWriter) (*HTTPServer, error) {
+func ServeHTTP(addr string, o *Observer, graph GraphWriter, aud AuditSource) (*HTTPServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &HTTPServer{
 		Addr: lis.Addr().String(),
-		srv:  &http.Server{Handler: NewHTTPHandler(o, graph)},
+		srv:  &http.Server{Handler: NewHTTPHandler(o, graph, aud)},
 		lis:  lis,
 	}
 	go func() { _ = s.srv.Serve(lis) }()

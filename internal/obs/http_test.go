@@ -19,7 +19,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string, string) {
 }
 
 func TestHTTPHandlerEndpoints(t *testing.T) {
-	h := NewHTTPHandler(goldenObserver(), stubGraph{})
+	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{})
 
 	code, body, _ := get(t, h, "/healthz")
 	if code != 200 || !strings.HasPrefix(body, "ok events=") {
@@ -48,6 +48,23 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 		t.Errorf("/deps?format=json = %d %q %q", code, ctype, body)
 	}
 
+	code, body, ctype = get(t, h, "/audit/txn")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"id":""`) {
+		t.Errorf("/audit/txn = %d %q %q", code, ctype, body)
+	}
+	code, body, _ = get(t, h, "/audit/txn/t0.3")
+	if code != 200 || !strings.Contains(body, `"id":"t0.3"`) {
+		t.Errorf("/audit/txn/t0.3 = %d %q", code, body)
+	}
+	code, body, ctype = get(t, h, "/audit/violations")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"violations"`) {
+		t.Errorf("/audit/violations = %d %q %q", code, ctype, body)
+	}
+	code, body, ctype = get(t, h, "/timeseries")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"windows"`) {
+		t.Errorf("/timeseries = %d %q %q", code, ctype, body)
+	}
+
 	code, _, _ = get(t, h, "/debug/pprof/cmdline")
 	if code != 200 {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
@@ -64,7 +81,7 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 }
 
 func TestHTTPHandlerNilSources(t *testing.T) {
-	h := NewHTTPHandler(nil, nil)
+	h := NewHTTPHandler(nil, nil, nil)
 	code, body, _ := get(t, h, "/deps")
 	if code != 200 || !strings.Contains(body, "no dependency tracker attached") {
 		t.Errorf("/deps with nil graph = %d %q", code, body)
@@ -77,10 +94,16 @@ func TestHTTPHandlerNilSources(t *testing.T) {
 	if code != 200 {
 		t.Errorf("/metrics with nil observer = %d", code)
 	}
+	for _, path := range []string{"/audit/txn", "/audit/txn/t0.1", "/audit/violations", "/timeseries"} {
+		code, body, _ := get(t, h, path)
+		if code != 200 || !strings.Contains(body, `"enabled": false`) {
+			t.Errorf("%s with nil audit source = %d %q", path, code, body)
+		}
+	}
 }
 
 func TestServeHTTPLive(t *testing.T) {
-	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil)
+	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

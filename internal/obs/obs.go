@@ -239,6 +239,19 @@ type Sink interface {
 	OnEvent(Event)
 }
 
+// MultiSink fans one event stream out to several sinks, in order. The
+// recovery layer uses it when both the dependency tracker and the online
+// auditor are attached; each element must satisfy the Sink contract on its
+// own (the fan-out adds no locking).
+type MultiSink []Sink
+
+// OnEvent delivers e to every sink in order.
+func (m MultiSink) OnEvent(e Event) {
+	for _, s := range m {
+		s.OnEvent(e)
+	}
+}
+
 // Observer is the engine-wide trace collector. All methods are safe for
 // concurrent use, and all are nil-receiver safe: a nil Observer records
 // nothing and costs one pointer test per hook.

@@ -1,9 +1,9 @@
 // Package obscli is the one place the commands wire the observability
 // stack: every cmd calls AddFlags for the shared -trace / -metrics / -http /
-// -flightdir flag set, Build to materialise the enabled pieces, Attach on
-// each recovery.DB it constructs, and Finish at exit. Keeping the wiring
-// here means the three binaries cannot drift apart in which observability
-// surface they expose.
+// -flightdir / -audit flag set, Build to materialise the enabled pieces,
+// Attach on each recovery.DB it constructs, and Finish at exit. Keeping the
+// wiring here means the three binaries cannot drift apart in which
+// observability surface they expose.
 package obscli
 
 import (
@@ -11,10 +11,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/recovery"
 )
@@ -29,6 +34,8 @@ type Flags struct {
 	HTTPHold  time.Duration // -httphold: keep serving this long after the run
 	FlightDir string        // -flightdir: crash flight-recorder dump root
 	FlightN   int           // -flightn: per-node event tail in each dump
+	Audit     bool          // -audit: per-txn trails + online IFA auditor + time series
+	Window    time.Duration // -window: audit time-series window width (simulated time)
 
 	// RecoverWorkers is -recoverworkers: the restart-recovery fan-out every
 	// cmd copies into recovery.Config.RecoveryWorkers (0 or 1 = sequential).
@@ -44,30 +51,38 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Trace, "trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print the observability metrics after the run")
-	fs.StringVar(&f.HTTP, "http", "", "serve live introspection (/metrics /trace /deps /healthz /debug/pprof) on this address, e.g. 127.0.0.1:8321")
-	fs.DurationVar(&f.HTTPHold, "httphold", 0, "keep the -http server alive this long after the run finishes")
+	fs.StringVar(&f.HTTP, "http", "", "serve live introspection (/metrics /trace /deps /audit /timeseries /healthz /debug/pprof) on this address, e.g. 127.0.0.1:8321")
+	fs.DurationVar(&f.HTTPHold, "httphold", 0, "keep the -http server alive this long after the run finishes (SIGINT/SIGTERM ends the hold early)")
 	fs.StringVar(&f.FlightDir, "flightdir", "", "write crash flight-recorder dumps under this directory")
 	fs.IntVar(&f.FlightN, "flightn", obs.DefaultFlightEvents, "events retained per node in each flight dump")
+	fs.BoolVar(&f.Audit, "audit", false, "per-transaction audit trails, the online IFA auditor, and windowed time-series metrics")
+	fs.DurationVar(&f.Window, "window", time.Millisecond, "audit time-series window width, in simulated time")
 	fs.IntVar(&f.RecoverWorkers, "recoverworkers", 0, "parallel restart-recovery workers (0 = sequential)")
 	return f
 }
 
 // Enabled reports whether any observability surface was requested.
 func (f *Flags) Enabled() bool {
-	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != ""
+	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != "" || f.Audit
 }
 
 // Stack is the assembled observability stack for one command run. The
 // commands that sweep seeds build a fresh recovery.DB per seed; the stack's
 // observer, flight recorder, and HTTP server outlive every DB, while the
-// dependency tracker is per-DB and swapped in by Attach — the HTTP /deps
-// endpoint always renders the current one.
+// dependency tracker and auditor are per-DB and swapped in by Attach — the
+// HTTP /deps, /audit/*, and /timeseries endpoints always render the current
+// ones.
 type Stack struct {
 	Obs    *obs.Observer
 	Flight *obs.FlightRecorder
 	HTTP   *obs.HTTPServer
 	flags  *Flags
 	cur    atomic.Pointer[deps.Tracker]
+	aud    atomic.Pointer[audit.Auditor]
+
+	holdStop chan struct{}
+	holdOnce sync.Once
+	holding  atomic.Bool
 }
 
 // WriteDOT renders the current DB's dependency graph; before the first
@@ -78,16 +93,32 @@ func (s *Stack) WriteDOT(w io.Writer) error { return s.cur.Load().WriteDOT(w) }
 // WriteGraphJSON is the JSON twin of WriteDOT.
 func (s *Stack) WriteGraphJSON(w io.Writer) error { return s.cur.Load().WriteGraphJSON(w) }
 
+// WriteAuditTxn, WriteAuditViolations, and WriteTimeSeries make Stack the
+// obs.AuditSource handed to the HTTP server, delegating to the auditor from
+// the most recent Attach (the audit.Auditor writers are nil-receiver safe,
+// reporting {"enabled": false} before the first Attach or with -audit off).
+func (s *Stack) WriteAuditTxn(w io.Writer, id string) error { return s.aud.Load().WriteAuditTxn(w, id) }
+
+// WriteAuditViolations renders the current auditor's typed violations.
+func (s *Stack) WriteAuditViolations(w io.Writer) error { return s.aud.Load().WriteAuditViolations(w) }
+
+// WriteTimeSeries renders the current auditor's windowed metrics.
+func (s *Stack) WriteTimeSeries(w io.Writer) error { return s.aud.Load().WriteTimeSeries(w) }
+
 // Tracker returns the dependency tracker from the most recent Attach (nil
 // before the first).
 func (s *Stack) Tracker() *deps.Tracker { return s.cur.Load() }
+
+// Auditor returns the online auditor from the most recent Attach (nil
+// before the first, or with -audit off).
+func (s *Stack) Auditor() *audit.Auditor { return s.aud.Load() }
 
 // Build assembles the stack the flags ask for. With nothing enabled it
 // returns an inert stack: Obs stays nil, so every engine-side hook keeps its
 // nil-receiver fast path. Build fails only on unusable -http / -flightdir
 // values, before any workload runs.
 func (f *Flags) Build() (*Stack, error) {
-	s := &Stack{flags: f}
+	s := &Stack{flags: f, holdStop: make(chan struct{})}
 	if !f.Enabled() {
 		return s, nil
 	}
@@ -99,22 +130,23 @@ func (f *Flags) Build() (*Stack, error) {
 		s.Flight = obs.NewFlightRecorder(f.FlightDir, f.FlightN)
 	}
 	if f.HTTP != "" {
-		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s)
+		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s, s)
 		if err != nil {
 			return nil, fmt.Errorf("-http: %w", err)
 		}
 		s.HTTP = srv
-		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (metrics, trace, deps, healthz, pprof)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (metrics, trace, deps, audit, timeseries, healthz, pprof)\n", srv.Addr)
 	}
 	return s, nil
 }
 
 // Attach wires the stack into one recovery.DB: observer, a fresh dependency
-// tracker (echoing edges back into the observer's event stream), and the
-// flight recorder. Safe to call once per DB in a sweep; the stack's
-// aggregate surfaces (HTTP, trace file) keep accumulating across them. The
-// returned tracker is nil when the stack is disabled — every call site is
-// nil-safe.
+// tracker (echoing edges back into the observer's event stream), with -audit
+// a fresh online auditor whose LBM policy matches the DB's protocol and
+// coherency, and the flight recorder. Safe to call once per DB in a sweep;
+// the stack's aggregate surfaces (HTTP, trace file) keep accumulating across
+// them. The returned tracker is nil when the stack is disabled — every call
+// site is nil-safe.
 func (s *Stack) Attach(db *recovery.DB) *deps.Tracker {
 	if s.Obs == nil {
 		return nil
@@ -123,14 +155,63 @@ func (s *Stack) Attach(db *recovery.DB) *deps.Tracker {
 	db.AttachObserver(s.Obs)
 	db.AttachDeps(t)
 	s.cur.Store(t)
+	if s.flags.Audit {
+		a := audit.New(audit.Config{
+			// Stable protocols promise stable coverage at exposure — but
+			// only write-invalidate coherency funnels every exposure
+			// through the trigger/eager force paths; under write-broadcast
+			// the sharers see stores directly and the honest invariant is
+			// volatile coverage.
+			Stable: db.Cfg.Protocol.StableLBM() &&
+				db.M.Config().Coherency == machine.WriteInvalidate,
+			WindowNS: s.flags.Window.Nanoseconds(),
+		})
+		db.AttachAudit(a)
+		s.aud.Store(a)
+	}
 	if s.Flight != nil {
 		db.SetFlightRecorder(s.Flight)
 	}
 	return t
 }
 
+// StopHold ends an in-progress -httphold grace period early (used by hosts
+// embedding the stack and by tests; SIGINT/SIGTERM have the same effect).
+// Safe to call at any time, at most once effective.
+func (s *Stack) StopHold() {
+	s.holdOnce.Do(func() {
+		if s.holdStop != nil {
+			close(s.holdStop)
+		}
+	})
+}
+
+// Holding reports whether Finish is currently inside the -httphold grace
+// period (it flips true only after the signal handler is armed).
+func (s *Stack) Holding() bool { return s.holding.Load() }
+
+// holdWait blocks for the -httphold duration, ending early on SIGINT or
+// SIGTERM (so a held introspection server shuts down cleanly on ctrl-c
+// instead of dying mid-request) or on StopHold.
+func (s *Stack) holdWait(d time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	s.holding.Store(true)
+	defer s.holding.Store(false)
+	select {
+	case <-timer.C:
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "introspection: interrupted, shutting down")
+	case <-s.holdStop:
+	}
+}
+
 // Finish emits the end-of-run surfaces: the metrics table when -metrics, the
-// Chrome trace file when -trace, and an -httphold grace period before the
+// audit summary when -audit, the Chrome trace file when -trace, and an
+// -httphold grace period — interruptible by SIGINT/SIGTERM — before the
 // introspection server shuts down. Call exactly once, after the workload.
 func (s *Stack) Finish(out io.Writer) error {
 	if s.Obs == nil {
@@ -140,6 +221,14 @@ func (s *Stack) Finish(out io.Writer) error {
 		fmt.Fprintln(out)
 		if err := s.Obs.MetricsTable(out); err != nil {
 			return err
+		}
+	}
+	if a := s.aud.Load(); a != nil {
+		sum := a.Summary()
+		fmt.Fprintf(out, "audit: %d violation(s), %d anomaly(ies) over %d window(s), %d trail(s) completed (%d live)\n",
+			sum.Violations, sum.Anomalies, sum.Windows, sum.Completed, sum.Active)
+		for k, n := range sum.ViolationsByKind {
+			fmt.Fprintf(out, "  %s: %d\n", k, n)
 		}
 	}
 	if s.flags.Trace != "" {
@@ -158,8 +247,8 @@ func (s *Stack) Finish(out io.Writer) error {
 	}
 	if s.HTTP != nil {
 		if s.flags.HTTPHold > 0 {
-			fmt.Fprintf(os.Stderr, "introspection: holding http://%s/ for %s\n", s.HTTP.Addr, s.flags.HTTPHold)
-			time.Sleep(s.flags.HTTPHold)
+			fmt.Fprintf(os.Stderr, "introspection: holding http://%s/ for %s (ctrl-c to stop)\n", s.HTTP.Addr, s.flags.HTTPHold)
+			s.holdWait(s.flags.HTTPHold)
 		}
 		s.HTTP.Shutdown()
 	}

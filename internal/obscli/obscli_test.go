@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -30,7 +31,7 @@ func parseFlags(t *testing.T, args ...string) *Flags {
 func TestFlagSetRegistersSharedNames(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	AddFlags(fs)
-	for _, name := range []string{"trace", "metrics", "http", "httphold", "flightdir", "flightn"} {
+	for _, name := range []string{"trace", "metrics", "http", "httphold", "flightdir", "flightn", "audit", "window", "recoverworkers"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("shared flag -%s not registered", name)
 		}
@@ -304,6 +305,146 @@ func TestHTTPHoldDelaysShutdown(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + s.HTTP.Addr + "/healthz"); err == nil {
 		t.Error("server still serving after Finish")
+	}
+}
+
+// TestHTTPHoldInterruptedBySignal is the -httphold shutdown contract: a held
+// introspection server must end the hold and shut down cleanly on SIGTERM
+// instead of blocking for the full duration.
+func TestHTTPHoldInterruptedBySignal(t *testing.T) {
+	f := parseFlags(t, "-http", "127.0.0.1:0", "-httphold", "30s")
+	s, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Finish(io.Discard) }()
+	// Wait until the hold is live — Holding flips true only after the signal
+	// handler is armed, so the SIGTERM below cannot race it and kill the test.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Holding() {
+		if time.Now().After(deadline) {
+			t.Fatal("Finish never entered the httphold grace period")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGTERM did not end the httphold")
+	}
+	if _, err := http.Get("http://" + s.HTTP.Addr + "/healthz"); err == nil {
+		t.Error("server still serving after interrupted hold")
+	}
+}
+
+// TestStopHoldEndsHoldEarly is the embedded-host half of the same contract.
+func TestStopHoldEndsHoldEarly(t *testing.T) {
+	f := parseFlags(t, "-http", "127.0.0.1:0", "-httphold", "30s")
+	s, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Finish(io.Discard) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Holding() {
+		if time.Now().After(deadline) {
+			t.Fatal("Finish never entered the httphold grace period")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.StopHold()
+	s.StopHold() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("StopHold did not end the httphold")
+	}
+}
+
+// TestStackAuditWiring: -audit attaches a per-DB auditor, the HTTP audit
+// endpoints follow the swap, a clean crash episode on a real protocol yields
+// zero violations, and Finish prints the audit summary.
+func TestStackAuditWiring(t *testing.T) {
+	f := parseFlags(t, "-audit", "-http", "127.0.0.1:0")
+	s, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.HTTP.Shutdown()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.HTTP.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	// Before the first Attach the audit surfaces exist but report disabled.
+	if body := get("/audit/violations"); !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("/audit/violations before Attach = %q", body)
+	}
+
+	db := newDB(t, recovery.StableEager)
+	s.Attach(db)
+	if s.Auditor() == nil {
+		t.Fatal("-audit Attach left no auditor")
+	}
+	if db.Audit() != s.Auditor() {
+		t.Error("DB and stack disagree on the auditor")
+	}
+	crashedRun(t, db)
+
+	if n := s.Auditor().ViolationCount(); n != 0 {
+		t.Errorf("clean StableEager episode raised %d violations: %+v", n, s.Auditor().Violations())
+	}
+	body := get("/audit/txn")
+	if !strings.Contains(body, `"enabled": true`) || !strings.Contains(body, `"summary"`) {
+		t.Errorf("/audit/txn = %q", body[:minInt(len(body), 120)])
+	}
+	if !json.Valid([]byte(body)) {
+		t.Error("/audit/txn is not valid JSON")
+	}
+	body = get("/audit/violations")
+	if !strings.Contains(body, `"total": 0`) {
+		t.Errorf("/audit/violations = %q", body[:minInt(len(body), 120)])
+	}
+	body = get("/timeseries")
+	if !json.Valid([]byte(body)) || !strings.Contains(body, `"windows"`) {
+		t.Errorf("/timeseries = %q", body[:minInt(len(body), 120)])
+	}
+
+	// A second Attach swaps in a fresh auditor (the sweep shape).
+	db2 := newDB(t, recovery.VolatileSelectiveRedo)
+	a1 := s.Auditor()
+	s.Attach(db2)
+	if s.Auditor() == a1 {
+		t.Error("Attach did not swap the auditor")
+	}
+
+	var out strings.Builder
+	if err := s.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "audit:") {
+		t.Errorf("Finish output missing the audit summary:\n%s", out.String())
 	}
 }
 

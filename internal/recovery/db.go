@@ -12,6 +12,7 @@ import (
 	"smdb/internal/lock"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
@@ -216,6 +217,9 @@ type DB struct {
 	// deps is the attached dependency-graph tracker (nil when disabled;
 	// nil-safe); see AttachDeps.
 	deps *deps.Tracker
+	// audit is the attached online IFA auditor (nil when disabled;
+	// nil-safe); see AttachAudit.
+	audit *audit.Auditor
 	// flight is the attached crash flight recorder (nil when disabled;
 	// nil-safe); see SetFlightRecorder.
 	flight *obs.FlightRecorder
@@ -325,14 +329,40 @@ func (db *DB) Observer() *obs.Observer {
 func (db *DB) AttachDeps(t *deps.Tracker) {
 	db.mu.Lock()
 	db.deps = t
-	o := db.obs
+	db.rewireSinkLocked()
 	db.mu.Unlock()
-	if o != nil {
-		if t == nil {
-			o.SetSink(nil)
-		} else {
-			o.SetSink(t)
-		}
+}
+
+// AttachAudit wires an online IFA auditor: it joins the observer's event
+// sink (alongside the dependency tracker, if one is attached) and receives
+// the recovery layer's direct write/crash/recovered notifications, so it
+// can check the logging-before-migration invariant on every coherency
+// transition while the workload runs. Call after AttachObserver — the
+// auditor needs the event stream. Passing nil detaches.
+func (db *DB) AttachAudit(a *audit.Auditor) {
+	db.mu.Lock()
+	db.audit = a
+	db.rewireSinkLocked()
+	db.mu.Unlock()
+}
+
+// rewireSinkLocked points the observer's single sink at whichever of the
+// dependency tracker and the auditor are attached (a MultiSink when both
+// are). Caller holds db.mu.
+func (db *DB) rewireSinkLocked() {
+	o := db.obs
+	if o == nil {
+		return
+	}
+	switch {
+	case db.deps != nil && db.audit != nil:
+		o.SetSink(obs.MultiSink{db.deps, db.audit})
+	case db.deps != nil:
+		o.SetSink(db.deps)
+	case db.audit != nil:
+		o.SetSink(db.audit)
+	default:
+		o.SetSink(nil)
 	}
 }
 
@@ -341,6 +371,13 @@ func (db *DB) Deps() *deps.Tracker {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.deps
+}
+
+// Audit returns the attached online auditor (nil when disabled).
+func (db *DB) Audit() *audit.Auditor {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.audit
 }
 
 // SetFlightRecorder wires a crash flight recorder: on every node crash a
@@ -353,6 +390,7 @@ func (db *DB) SetFlightRecorder(r *obs.FlightRecorder) {
 	db.flight = r
 	o := db.obs
 	t := db.deps
+	a := db.audit
 	db.mu.Unlock()
 	if r == nil {
 		return
@@ -361,12 +399,16 @@ func (db *DB) SetFlightRecorder(r *obs.FlightRecorder) {
 	if t != nil {
 		g = t
 	}
+	var as obs.AuditSource
+	if a != nil {
+		as = a
+	}
 	// Stats writer: machine + protocol counters as deltas since the last
 	// dump, so each dump reads as "what happened since the previous one".
 	var prevM machine.Stats
 	var prevP Stats
 	var prevMu sync.Mutex
-	r.SetSources(o, g, func(w io.Writer) error {
+	r.SetSources(o, g, as, func(w io.Writer) error {
 		curM := db.M.Stats()
 		curP := db.Stats()
 		prevMu.Lock()

@@ -90,12 +90,15 @@ func (db *DB) noteCrash(rep machine.CrashReport) {
 		}
 	}
 	dt := db.deps
+	au := db.audit
 	fl := db.flight
 	db.mu.Unlock()
-	if dt != nil {
+	if dt != nil || au != nil {
 		// The tracker computes IFA-explainer verdicts against the exact
-		// crash-instant state; like everything in this callback it must not
-		// call back into the machine (the machine lock is held).
+		// crash-instant state, and the auditor marks its crash victims and
+		// suspends LBM checks for the recovery window; like everything in
+		// this callback they must not call back into the machine (the
+		// machine lock is held).
 		crashed := make([]int32, len(rep.Crashed))
 		for i, n := range rep.Crashed {
 			crashed[i] = int32(n)
@@ -104,7 +107,9 @@ func (db *DB) noteCrash(rep machine.CrashReport) {
 		for i, l := range rep.LostLines {
 			lost[i] = int32(l)
 		}
-		dt.NoteCrash(crashed, lost, db.M.MaxClock())
+		now := db.M.MaxClock()
+		dt.NoteCrash(crashed, lost, now)
+		au.NoteCrash(crashed, lost, now)
 	}
 	if fl != nil {
 		// No file I/O under the machine lock: Recover writes the dump.

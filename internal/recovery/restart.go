@@ -179,12 +179,13 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	return rep, nil
 }
 
-// noteRecovered tells the dependency tracker which crash victims recovery
-// aborted (the rest settled as stable-committed), closing the crash episode
-// in the tracker's graph.
+// noteRecovered tells the dependency tracker and the online auditor which
+// crash victims recovery aborted (the rest settled as stable-committed),
+// closing the crash episode in both.
 func (db *DB) noteRecovered(rep *RecoveryReport) {
 	dt := db.Deps()
-	if dt == nil {
+	au := db.Audit()
+	if dt == nil && au == nil {
 		return
 	}
 	aborted := make([]int64, len(rep.Aborted))
@@ -192,6 +193,7 @@ func (db *DB) noteRecovered(rep *RecoveryReport) {
 		aborted[i] = int64(t)
 	}
 	dt.NoteRecovered(aborted)
+	au.NoteRecovered(aborted, db.M.MaxClock())
 }
 
 // recoverOnce is one attempt at the IFA restart-recovery sequence. Counters

@@ -223,13 +223,17 @@ func (db *DB) applyChange(nd machine.NodeID, t wal.TxnID, rid heap.RID, newFlags
 		db.committed[rid] = committedImage{img: after, version: version}
 	}
 	dt := db.deps
+	au := db.audit
 	db.mu.Unlock()
-	if dt != nil && nta == 0 {
-		// Register the write with the dependency tracker while the line
-		// lock still pins the line: it cannot migrate, downgrade, or be
-		// invalidated before the tracker knows about the uncommitted data.
-		dt.NoteWrite(int64(t), int32(nd), int32(line),
-			int64(rid.Page)<<16|int64(rid.Slot), int64(lsn), db.M.Clock(nd))
+	if (dt != nil || au != nil) && nta == 0 {
+		// Register the write with the dependency tracker and the online
+		// auditor while the line lock still pins the line: it cannot
+		// migrate, downgrade, or be invalidated before they know about the
+		// uncommitted data.
+		slot := int64(rid.Page)<<16 | int64(rid.Slot)
+		now := db.M.Clock(nd)
+		dt.NoteWrite(int64(t), int32(nd), int32(line), slot, int64(lsn), now)
+		au.NoteWrite(int64(t), int32(nd), int32(line), slot, int64(lsn), now)
 	}
 	return nil
 }

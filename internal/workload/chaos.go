@@ -7,6 +7,7 @@ import (
 
 	"smdb/internal/fault"
 	"smdb/internal/machine"
+	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/recovery"
 )
@@ -45,6 +46,13 @@ type ChaosResult struct {
 	// survivor losses the explainer missed.
 	Verdicts, DoomedVerdicts int
 	ExplainMismatches        []string
+	// Online-auditor census, populated when an auditor is attached
+	// (db.AttachAudit): AuditViolations counts the typed LBM violations the
+	// auditor raised *during* the workload, AuditAnomalies the time-series
+	// watchdog's findings. Auditor/checker disagreements (a violation under
+	// an IFA protocol, or a checker-confirmed lost update the auditor never
+	// saw exposed) are folded into ExplainMismatches.
+	AuditViolations, AuditAnomalies int
 }
 
 func (r ChaosResult) String() string {
@@ -55,6 +63,10 @@ func (r ChaosResult) String() string {
 	if r.Verdicts > 0 {
 		s += fmt.Sprintf(" verdicts=%d doomed=%d mismatches=%d",
 			r.Verdicts, r.DoomedVerdicts, len(r.ExplainMismatches))
+	}
+	if r.AuditViolations > 0 || r.AuditAnomalies > 0 {
+		s += fmt.Sprintf(" auditViolations=%d auditAnomalies=%d",
+			r.AuditViolations, r.AuditAnomalies)
 	}
 	return s
 }
@@ -85,6 +97,7 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 	defer db.AttachFaults(nil)
 	defer inj.Disarm()
 
+	prevAuditViol := 0
 	for ep := 0; ep < episodes; ep++ {
 		res.Episodes++
 		epSpec := spec
@@ -183,6 +196,7 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 			res.Violations = append(res.Violations, fmt.Sprintf("episode %d: %s", ep, v))
 		}
 		crossCheckExplainer(db, rep, epViolations, ep, &res)
+		prevAuditViol = crossCheckAuditor(db, epViolations, ep, prevAuditViol, &res)
 		if len(epViolations) > 0 {
 			// A checker violation is exactly what the flight recorder exists
 			// for: preserve the evidence before the episode state is reset.
@@ -200,7 +214,58 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 	res.TornForces = st.TornForces
 	res.RecoveryCrashes = st.RecoveryCrashes
 	res.IOErrors = st.IOErrors
+	if a := db.Audit(); a != nil {
+		sum := a.Summary()
+		res.AuditViolations = sum.Violations
+		res.AuditAnomalies = sum.Anomalies
+	}
 	return res, nil
+}
+
+// crossCheckAuditor reconciles the online IFA auditor's typed violations —
+// raised at exposure instants, while the workload runs — against the
+// crash-time ground truth, and returns the new cumulative violation count.
+// The two monitors approach the same invariant from opposite ends: the
+// auditor flags the cause (a dirty line leaving its writer's failure domain
+// without log coverage), the checker the effect (an update actually lost).
+// No-op when no auditor is attached.
+func crossCheckAuditor(db *recovery.DB, violations []string, ep, prev int, res *ChaosResult) int {
+	a := db.Audit()
+	if a == nil {
+		return prev
+	}
+	sum := a.Summary()
+	mism := func(format string, args ...any) {
+		res.ExplainMismatches = append(res.ExplainMismatches,
+			fmt.Sprintf("episode %d: ", ep)+fmt.Sprintf(format, args...))
+	}
+	delta := sum.Violations - prev
+
+	// Rule A: under an IFA protocol the LBM invariant holds by construction,
+	// so any online violation is an auditor false positive.
+	if delta > 0 && db.Cfg.Protocol.IFA() {
+		mism("online auditor raised %d violation(s) under IFA protocol %v", delta, db.Cfg.Protocol)
+	}
+
+	// Rule B: when the checker catches a survivor's lost update (the no-LBM
+	// hazard), its cause — an unlogged dirty line leaving its failure
+	// domain — must have been visible to the auditor before the crash.
+	lost := 0
+	for _, viol := range violations {
+		if strings.Contains(viol, "update lost") {
+			lost++
+		}
+	}
+	if lost > 0 && sum.ViolationsByKind[audit.ViolationUnlogged] == 0 {
+		mism("checker found %d lost survivor update(s) but the online auditor flagged no unlogged exposure", lost)
+	}
+
+	if delta > 0 && len(violations) == 0 {
+		// The auditor saw a hazard this episode's crashes did not happen to
+		// convert into data loss; preserve the evidence trails while fresh.
+		_, _ = db.DumpFlight(fmt.Sprintf("audit-violation-ep%d", ep))
+	}
+	return sum.Violations
 }
 
 // crossCheckExplainer reconciles the dependency tracker's IFA-explainer

@@ -7,6 +7,7 @@ import (
 	"smdb/internal/fault"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/recovery"
 )
@@ -35,6 +36,20 @@ func attachTracker(db *recovery.DB) *deps.Tracker {
 	tr := deps.New(o)
 	db.AttachDeps(tr)
 	return tr
+}
+
+// attachAuditor wires an observer plus online IFA auditor into db, enabling
+// RunChaos's auditor cross-check. The dependency tracker is deliberately not
+// attached: the explainer's reconciliation rules assume an IFA or ablated
+// protocol, while the auditor sweep also covers the baseline.
+func attachAuditor(db *recovery.DB) *audit.Auditor {
+	o := obs.NewWithCapacity(4096)
+	db.AttachObserver(o)
+	a := audit.New(audit.Config{
+		Stable: db.Cfg.Protocol.StableLBM() && db.M.Config().Coherency == machine.WriteInvalidate,
+	})
+	db.AttachAudit(a)
+	return a
 }
 
 func chaosSpec(seed int64) Spec {
@@ -210,6 +225,129 @@ func TestChaosBrokenPolicyCaught(t *testing.T) {
 	if len(mismatches) != 0 {
 		t.Errorf("explainer/checker mismatches under AblatedNoLBM:\n%s",
 			strings.Join(mismatches, "\n"))
+	}
+}
+
+// TestChaosAuditCleanRealProtocols runs the full chaos fault schedule over
+// every real protocol with the online IFA auditor armed: the continuously
+// monitored LBM invariant must hold — zero typed violations — across every
+// workload, crash, and recovery, and the auditor must agree with the
+// crash-time checker on every episode.
+func TestChaosAuditCleanRealProtocols(t *testing.T) {
+	for _, proto := range recovery.Protocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 4; seed++ {
+				db := chaosDB(t, proto, 4)
+				a := attachAuditor(db)
+				inj := fault.New(fault.Plan{
+					Seed:              seed,
+					PCrashAtMigration: 0.02,
+					PCrashAtUpdate:    0.01,
+					PTornForce:        0.02,
+					PCrashInRecovery:  0.3,
+					PCoordinatorCrash: 0.5,
+					PIOError:          0.05,
+					MaxCrashes:        2,
+				})
+				res, err := RunChaos(db, inj, chaosSpec(seed), 3)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.AuditViolations != 0 {
+					var details []string
+					for _, v := range a.Violations() {
+						details = append(details, v.Detail)
+					}
+					t.Errorf("seed %d: online auditor raised %d violation(s) under %v:\n%s",
+						seed, res.AuditViolations, proto, strings.Join(details, "\n"))
+				}
+				if len(res.ExplainMismatches) != 0 {
+					t.Errorf("seed %d: auditor/checker mismatches under %v:\n%s",
+						seed, proto, strings.Join(res.ExplainMismatches, "\n"))
+				}
+				sum := a.Summary()
+				if sum.Completed == 0 {
+					t.Errorf("seed %d: auditor observed no completed trails", seed)
+				}
+				if sum.Windows == 0 {
+					t.Errorf("seed %d: auditor recorded no time-series windows", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosAuditCatchesAblated is the negative control for the online
+// auditor: under AblatedNoLBM every migration of a dirty line is an
+// unlogged exposure, so the auditor must raise typed violations — each
+// carrying the offending transaction's trail as evidence — without waiting
+// for a crash to convert the hazard into data loss, and without ever
+// disagreeing with the crash-time checker. The fault draws are seeded but
+// their *order* follows the goroutine interleaving (the race detector's
+// slowdown shifts it), so no single seed guarantees a mid-workload
+// migration crash; the sweep fails only if every seed stays silent.
+func TestChaosAuditCatchesAblated(t *testing.T) {
+	var a *audit.Auditor
+	var res *ChaosResult
+	for seed := int64(1); seed <= 8; seed++ {
+		db := chaosDB(t, recovery.AblatedNoLBM, 4)
+		aud := attachAuditor(db)
+		inj := fault.New(fault.Plan{
+			Seed:              seed,
+			PCrashAtMigration: 0.35,
+		})
+		r, err := RunChaos(db, inj, chaosSpec(seed), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.ExplainMismatches) != 0 {
+			t.Errorf("seed %d: auditor/checker mismatches under AblatedNoLBM:\n%s",
+				seed, strings.Join(r.ExplainMismatches, "\n"))
+		}
+		if r.AuditViolations > 0 {
+			// Keep the first violating seed; prefer one whose exposure
+			// windows also closed (watchdog anomalies evaluated).
+			if res == nil || r.AuditAnomalies > 0 {
+				a, res = aud, &r
+			}
+			if r.AuditAnomalies > 0 {
+				break
+			}
+		}
+	}
+	if res == nil {
+		t.Fatal("the ablated protocol migrated dirty lines on 8 seeds but the online auditor raised no violation")
+	}
+	vs := a.Violations()
+	if len(vs) == 0 {
+		t.Fatal("violation total > 0 but no records retained")
+	}
+	for i, v := range vs {
+		if v.Kind != audit.ViolationUnlogged {
+			t.Errorf("violation %d kind = %q, want %q", i, v.Kind, audit.ViolationUnlogged)
+		}
+		if len(v.Trail.Steps) == 0 {
+			t.Errorf("violation %d carries no evidence trail", i)
+		}
+		if v.Detail == "" || v.Name == "" {
+			t.Errorf("violation %d missing provenance: %+v", i, v)
+		}
+	}
+	// The evidence trail must show the unlogged update that caused the
+	// exposure: an update step with LSN 0 on the violating line.
+	found := false
+	for _, s := range vs[0].Trail.Steps {
+		if s.Kind == "update" && s.Line == vs[0].Line && s.LSN == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("evidence trail lacks the unlogged update of line %d:\n%+v", vs[0].Line, vs[0].Trail.Steps)
+	}
+	if res.AuditAnomalies == 0 {
+		t.Error("unlogged exposures raised no watchdog anomaly")
 	}
 }
 

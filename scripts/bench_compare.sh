@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Compares a freshly generated BENCH_recovery.json against the committed
+# snapshot and fails on ns/op regressions beyond the threshold. Usage:
+#
+#   scripts/bench_compare.sh [fresh.json] [baseline.json] [threshold-pct]
+#
+# Defaults: fresh=BENCH_recovery.ci.json (what CI's bench step writes),
+# baseline=BENCH_recovery.json (the committed perf-trajectory record),
+# threshold=20 (percent). Each benchmark's ns/op samples (the -count
+# repetitions) are averaged per file, then fresh-vs-baseline deltas are
+# printed for every benchmark; any delta above the threshold exits 1.
+#
+# Wall-clock comparisons across different hosts are meaningless, so when the
+# two files record different gomaxprocs the script prints a skip notice and
+# exits 0. CI runs this as a non-blocking step (continue-on-error): a
+# regression flags the run for a human eye without gating merges on shared
+# -runner timing noise. Parsing is plain awk, matching bench_recovery.sh's
+# one-benchmark-per-line JSON layout.
+set -eu
+
+cd "$(dirname "$0")/.."
+fresh="${1:-BENCH_recovery.ci.json}"
+base="${2:-BENCH_recovery.json}"
+thresh="${3:-20}"
+
+for f in "$base" "$fresh"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: missing $f" >&2
+        exit 2
+    fi
+done
+
+awk -v thresh="$thresh" -v basefile="$base" -v freshfile="$fresh" '
+FNR == 1 { fileno++ }
+/"gomaxprocs":/ {
+    if (match($0, /[0-9]+/)) gmp[fileno] = substr($0, RSTART, RLENGTH) + 0
+    next
+}
+/"name":/ {
+    if (!match($0, /"name":"[^"]*"/)) next
+    n = substr($0, RSTART + 8, RLENGTH - 9)
+    if (!match($0, /"ns_per_op":[0-9.]+/)) next
+    v = substr($0, RSTART + 12, RLENGTH - 12) + 0
+    sum[fileno, n] += v; cnt[fileno, n]++
+    if (fileno == 1 && !(n in seen)) { seen[n] = 1; order[++nn] = n }
+}
+END {
+    if (gmp[1] != gmp[2]) {
+        printf "skip: gomaxprocs differ (baseline %s: %d, fresh %s: %d) — cross-host ns/op is not comparable\n", \
+            basefile, gmp[1], freshfile, gmp[2]
+        exit 0
+    }
+    bad = 0
+    for (i = 1; i <= nn; i++) {
+        n = order[i]
+        if (!cnt[2, n]) {
+            printf "MISSING  %s: in baseline but not in fresh run\n", n
+            bad = 1
+            continue
+        }
+        b = sum[1, n] / cnt[1, n]
+        f = sum[2, n] / cnt[2, n]
+        delta = (f - b) * 100.0 / b
+        flag = (delta > thresh) ? "REGRESS" : "ok"
+        printf "%-8s %s: baseline %.0f ns/op, fresh %.0f ns/op (%+.1f%%, threshold +%s%%)\n", \
+            flag, n, b, f, delta, thresh
+        if (delta > thresh) bad = 1
+    }
+    if (nn == 0) { print "bench_compare: no benchmarks found in " basefile; exit 2 }
+    exit bad
+}
+' "$base" "$fresh"
