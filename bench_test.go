@@ -156,6 +156,36 @@ func BenchmarkParallelRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkRecoveryProfile regenerates experiment E20: the profiled E18
+// recovery, with wall time attributed to worker busy / stripe lock-wait /
+// condvar-wait / fan-out idle / merge buckets. The coverage metrics are the
+// attributed fraction of host wall time per worker count (the acceptance bar
+// is 0.9); like E18's speedups they are host wall-clock quantities, so
+// bucket shapes at 4/8 workers only reflect real parallelism when
+// GOMAXPROCS grants it.
+func BenchmarkRecoveryProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunRecoveryProfile(int64(i+1), []int{0, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable(b, "recoveryprofile", res.Report())
+			for _, p := range res.Points {
+				label := "seq"
+				if p.Workers > 0 {
+					label = string('0'+byte(p.Workers)) + "-workers"
+				}
+				b.ReportMetric(p.Coverage, metricName("coverage/"+label))
+				if p.Wall > 0 {
+					b.ReportMetric(float64(p.LockWaitNS+p.CondWaitNS)/float64(p.Wall.Nanoseconds()),
+						metricName("wait-share/"+label))
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkLogForceFrequency regenerates experiment E6: physical log-force
 // frequency of eager vs triggered Stable LBM vs Volatile LBM as inter-node
 // sharing grows.

@@ -188,7 +188,17 @@ var experiments = []experiment{
 			if err != nil {
 				return "", err
 			}
-			return res.Table(), nil
+			out := res.Table()
+			if obsFlags.Prof {
+				// -prof: rerun the widest fan-out profiled and append the
+				// contended-stripes + worker busy/wait breakdown.
+				pres, err := harness.RunRecoveryProfile(seed, workers)
+				if err != nil {
+					return "", err
+				}
+				out += "\n" + pres.Report()
+			}
+			return out, nil
 		}},
 	{"audit", "E19", "online-auditor overhead and violation census", "sections 3-4 (the LBM invariant, checked live); E11's ablation, online",
 		func(seed int64, _ *obs.Observer) (string, error) {
@@ -197,6 +207,20 @@ var experiments = []experiment{
 				return "", err
 			}
 			return res.Table(), nil
+		}},
+	{"recoveryprofile", "E20", "parallel-recovery wall-clock attribution (busy / lock-wait / condvar / idle / merge)", "this implementation's contention profiler over the E18 workload",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			// -recoverworkers narrows the sweep to sequential vs that
+			// fan-out; unset, the standard 0/2/4/8 sweep runs.
+			var workers []int
+			if obsFlags.RecoverWorkers > 0 {
+				workers = []int{0, obsFlags.RecoverWorkers}
+			}
+			res, err := harness.RunRecoveryProfile(seed, workers)
+			if err != nil {
+				return "", err
+			}
+			return res.Report(), nil
 		}},
 }
 

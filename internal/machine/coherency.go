@@ -42,8 +42,8 @@ func (m *Machine) Read(nd NodeID, l LineID, off, n int) ([]byte, error) {
 
 func (m *Machine) readLocked(nd NodeID, l LineID, off, n int) ([]byte, []NodeID, error) {
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	if !m.Alive(nd) {
 		return nil, nil, ErrNodeDown
 	}
@@ -116,8 +116,8 @@ func (m *Machine) Write(nd NodeID, l LineID, off int, data []byte) error {
 
 func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) ([]NodeID, error) {
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	if !m.Alive(nd) {
 		return nil, ErrNodeDown
 	}
@@ -239,8 +239,8 @@ func (m *Machine) Install(nd NodeID, l LineID, data []byte) error {
 		return err
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	if !m.Alive(nd) {
 		return ErrNodeDown
 	}
@@ -276,8 +276,8 @@ func (m *Machine) Discard(nd NodeID, l LineID) error {
 		return err
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	ln := &m.lines[l]
 	if ln.lock.held {
 		return ErrLineLockHeld
@@ -326,7 +326,7 @@ func (m *Machine) DiscardAll(nd NodeID, filter func(LineID) bool) int {
 	dropped := 0
 	for si := range m.stripes {
 		s := &m.stripes[si]
-		s.mu.Lock()
+		m.lockStripe(s)
 		for l := LineID(si); l < frontier; l += stripeCount {
 			ln := &m.lines[l]
 			if ln.lock.held {
@@ -339,7 +339,7 @@ func (m *Machine) DiscardAll(nd NodeID, filter func(LineID) bool) int {
 				dropped++
 			}
 		}
-		s.mu.Unlock()
+		m.unlockStripe(s)
 	}
 	if dropped > 0 {
 		atomic.AddInt64(&m.stats.Discards, int64(dropped))
@@ -356,8 +356,8 @@ func (m *Machine) Resident(l LineID) bool {
 		return false
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	return m.lines[l].valid
 }
 
@@ -367,8 +367,8 @@ func (m *Machine) Holders(l LineID) []NodeID {
 		return nil
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	if !m.lines[l].valid {
 		return nil
 	}
@@ -381,8 +381,8 @@ func (m *Machine) ExclusiveHolder(l LineID) NodeID {
 		return NoNode
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	if !m.lines[l].valid {
 		return NoNode
 	}
@@ -401,13 +401,13 @@ func (m *Machine) CachedLines(nd NodeID) []LineID {
 	var out []LineID
 	for si := range m.stripes {
 		s := &m.stripes[si]
-		s.mu.Lock()
+		m.lockStripe(s)
 		for l := LineID(si); l < frontier; l += stripeCount {
 			if m.lines[l].valid && m.lines[l].holders.has(nd) {
 				out = append(out, l)
 			}
 		}
-		s.mu.Unlock()
+		m.unlockStripe(s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

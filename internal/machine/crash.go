@@ -41,17 +41,17 @@ func (m *Machine) Crash(nodes ...NodeID) CrashReport {
 	m.liveMu.Lock()
 	defer m.liveMu.Unlock()
 	for i := range m.stripes {
-		m.stripes[i].mu.Lock()
+		m.lockStripe(&m.stripes[i])
 	}
 	defer func() {
 		// Even an idempotent re-crash must wake line-lock waiters: a waiter
 		// may be blocked on a lock whose owner died in the *first* crash of
 		// this node, and the wake-up is how it learns to re-check liveness.
 		for i := range m.stripes {
-			m.stripes[i].cond.Broadcast()
+			m.broadcast(&m.stripes[i])
 		}
 		for i := len(m.stripes) - 1; i >= 0; i-- {
-			m.stripes[i].mu.Unlock()
+			m.unlockStripe(&m.stripes[i])
 		}
 	}()
 	return m.crashQuiesced(nodes)

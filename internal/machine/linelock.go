@@ -41,8 +41,8 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 
 func (m *Machine) getLineLocked(nd NodeID, l LineID) ([]NodeID, error) {
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	if !m.Alive(nd) {
 		return nil, ErrNodeDown
 	}
@@ -58,7 +58,7 @@ func (m *Machine) getLineLocked(nd NodeID, l LineID) ([]NodeID, error) {
 	}
 	ln.lock.waiters++
 	for ln.lock.held {
-		s.cond.Wait()
+		m.condWait(s)
 		if !m.Alive(nd) {
 			ln.lock.waiters--
 			return nil, ErrNodeDown
@@ -138,9 +138,9 @@ func (m *Machine) TryGetLine(nd NodeID, l LineID) (bool, error) {
 		return false, err
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
+	m.lockStripe(s)
 	locked := m.lines[l].lock.held && m.lines[l].lock.owner != nd
-	s.mu.Unlock()
+	m.unlockStripe(s)
 	if locked {
 		return false, nil
 	}
@@ -156,8 +156,8 @@ func (m *Machine) ReleaseLine(nd NodeID, l LineID) error {
 		return err
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	ln := &m.lines[l]
 	if !ln.lock.held || ln.lock.owner != nd {
 		return ErrNotLockHolder
@@ -168,7 +168,7 @@ func (m *Machine) ReleaseLine(nd NodeID, l LineID) error {
 	// The lock becomes free, in simulated time, when the releasing node's
 	// clock reaches this instant; waiters chain their start times from it.
 	ln.lock.freeAt = atomic.LoadInt64(&m.clocks[nd])
-	s.cond.Broadcast()
+	m.broadcast(s)
 	return nil
 }
 
@@ -178,8 +178,8 @@ func (m *Machine) LineLockHeldBy(l LineID) NodeID {
 		return NoNode
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	if !m.lines[l].lock.held {
 		return NoNode
 	}

@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 
 	"smdb/internal/obs"
+	"smdb/internal/obs/prof"
 )
 
 // NodeID identifies a processor/memory pair. Nodes are numbered from 0.
@@ -190,10 +191,16 @@ const stripeMask = stripeCount - 1
 type stripe struct {
 	mu   sync.Mutex
 	cond *sync.Cond
+	// holdStart is the profiler's open hold-span start (prof.Now ns).
+	// Guarded by mu itself: nonzero exactly while a profiled critical
+	// section is open (see lockStripe/unlockStripe in prof.go).
+	holdStart int64
+	// idx is this stripe's own index, for profiler attribution.
+	idx int32
 	// pad the struct to a cache line so neighbouring stripes do not false-
 	// share on real hardware (the simulator's own scalability matters to
 	// the parallel-recovery experiments).
-	_ [48]byte
+	_ [36]byte
 }
 
 // EventKind classifies coherency-protocol transitions that can expose
@@ -265,6 +272,7 @@ type hookSet struct {
 	transitionFault TransitionFaultFunc
 	crashNotify     func(CrashReport)
 	obs             *obs.Observer
+	prof            *prof.StripeProf
 }
 
 // Machine is a simulated cache-coherent shared-memory multiprocessor.
@@ -323,6 +331,7 @@ func New(cfg Config) *Machine {
 	}
 	for i := range m.stripes {
 		m.stripes[i].cond = sync.NewCond(&m.stripes[i].mu)
+		m.stripes[i].idx = int32(i)
 	}
 	m.aliveMask.Store(^uint64(0) >> (64 - uint(cfg.Nodes)))
 	m.hooks.Store(&hookSet{})
@@ -448,8 +457,8 @@ func (m *Machine) SetActive(l LineID, on bool) error {
 		return err
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	m.lines[l].active = on
 	return nil
 }
@@ -460,8 +469,8 @@ func (m *Machine) Active(l LineID) bool {
 		return false
 	}
 	s := m.stripeOf(l)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.lockStripe(s)
+	defer m.unlockStripe(s)
 	return m.lines[l].active
 }
 

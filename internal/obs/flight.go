@@ -34,6 +34,18 @@ type AuditSource interface {
 	WriteTimeSeries(w io.Writer) error
 }
 
+// ProfSource renders the contention & cost-attribution profiler's surfaces
+// (prof.Pair satisfies it; like GraphWriter, the interface lives here so
+// obs does not import its own subpackage). WriteProfJSON is the combined
+// document the flight recorder stores as prof.json; WriteProfProm appends
+// Prometheus lines to /metrics.
+type ProfSource interface {
+	WriteProfStripes(w io.Writer) error
+	WriteProfWorkers(w io.Writer) error
+	WriteProfJSON(w io.Writer) error
+	WriteProfProm(w io.Writer) error
+}
+
 // DefaultFlightEvents is the per-node event tail retained in a dump.
 const DefaultFlightEvents = 256
 
@@ -58,6 +70,7 @@ type FlightRecorder struct {
 	obs      *Observer
 	graph    GraphWriter
 	audit    AuditSource
+	prof     ProfSource
 	stats    func(io.Writer) error
 	dumps    []string
 	sizes    []int64
@@ -76,10 +89,11 @@ func NewFlightRecorder(dir string, lastN int) *FlightRecorder {
 // SetSources wires the recorder's data sources: the observer whose event
 // rings are tailed, an optional dependency-graph renderer, an optional
 // audit source (the online auditor's violations, trails, and time series
-// join every dump), and an optional stats writer (called once per dump;
-// implementations typically print deltas since the previous dump). Any may
-// be nil.
-func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, stats func(io.Writer) error) {
+// join every dump), an optional profiler source (the contention profiler's
+// combined document joins as prof.json), and an optional stats writer
+// (called once per dump; implementations typically print deltas since the
+// previous dump). Any may be nil.
+func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p ProfSource, stats func(io.Writer) error) {
 	if r == nil {
 		return
 	}
@@ -87,6 +101,7 @@ func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, s
 	r.obs = o
 	r.graph = g
 	r.audit = a
+	r.prof = p
 	r.stats = stats
 	r.mu.Unlock()
 }
@@ -213,6 +228,9 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		if r.audit != nil {
 			fmt.Fprintf(w, " violations.json audit_trails.json timeseries.json")
 		}
+		if r.prof != nil {
+			fmt.Fprintf(w, " prof.json")
+		}
 		if r.stats != nil {
 			fmt.Fprintf(w, " stats.txt")
 		}
@@ -291,6 +309,11 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 			return "", err
 		}
 		if err := r.writeFile(dir, "timeseries.json", &written, r.audit.WriteTimeSeries); err != nil {
+			return "", err
+		}
+	}
+	if r.prof != nil {
+		if err := r.writeFile(dir, "prof.json", &written, r.prof.WriteProfJSON); err != nil {
 			return "", err
 		}
 	}

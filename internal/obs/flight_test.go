@@ -40,6 +40,27 @@ func (stubAudit) WriteTimeSeries(w io.Writer) error {
 	return err
 }
 
+// stubProf is a ProfSource standing in for the contention profiler (same
+// import constraint as stubGraph).
+type stubProf struct{}
+
+func (stubProf) WriteProfStripes(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true,\"stripes\":128}\n")
+	return err
+}
+func (stubProf) WriteProfWorkers(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true,\"phases\":[]}\n")
+	return err
+}
+func (stubProf) WriteProfJSON(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true,\"stripes\":{},\"workers\":[]}\n")
+	return err
+}
+func (stubProf) WriteProfProm(w io.Writer) error {
+	_, err := io.WriteString(w, "# TYPE smdb_prof_stripe_acquires_total counter\nsmdb_prof_stripe_acquires_total 0\n")
+	return err
+}
+
 func TestFlightRecorderDump(t *testing.T) {
 	o := NewWithCapacity(64)
 	o.Instant(KindMigrate, 0, 100, 12, 1)
@@ -47,7 +68,7 @@ func TestFlightRecorderDump(t *testing.T) {
 	o.Instant(KindRecovery, SystemNode, 300, 0, 0)
 
 	r := NewFlightRecorder(t.TempDir(), 16)
-	r.SetSources(o, stubGraph{}, nil, func(w io.Writer) error {
+	r.SetSources(o, stubGraph{}, nil, nil, func(w io.Writer) error {
 		_, err := io.WriteString(w, "stats delta: {}\n")
 		return err
 	})
@@ -107,7 +128,7 @@ func TestFlightRecorderLastNTail(t *testing.T) {
 		o.Instant(KindMigrate, 0, int64(i), int64(i), 0)
 	}
 	r := NewFlightRecorder(t.TempDir(), 8)
-	r.SetSources(o, nil, nil, nil)
+	r.SetSources(o, nil, nil, nil, nil)
 	dir, err := r.Dump("crash")
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +162,7 @@ func TestFlightRecorderBudget(t *testing.T) {
 	o := NewWithCapacity(8)
 	root := t.TempDir()
 	r := NewFlightRecorder(root, 4)
-	r.SetSources(o, nil, nil, nil)
+	r.SetSources(o, nil, nil, nil, nil)
 	for i := 0; i < maxDumps+3; i++ {
 		if _, err := r.Dump(fmt.Sprintf("crash-%d", i)); err != nil {
 			t.Fatal(err)
@@ -163,7 +184,7 @@ func TestFlightRecorderAuditFiles(t *testing.T) {
 	o := NewWithCapacity(8)
 	o.Instant(KindCrash, 0, 100, 4, 2)
 	r := NewFlightRecorder(t.TempDir(), 8)
-	r.SetSources(o, nil, stubAudit{}, nil)
+	r.SetSources(o, nil, stubAudit{}, nil, nil)
 	dir, err := r.Dump("crash")
 	if err != nil {
 		t.Fatal(err)
@@ -187,10 +208,35 @@ func TestFlightRecorderAuditFiles(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderProfFile(t *testing.T) {
+	o := NewWithCapacity(8)
+	o.Instant(KindCrash, 0, 100, 4, 2)
+	r := NewFlightRecorder(t.TempDir(), 8)
+	r.SetSources(o, nil, nil, stubProf{}, nil)
+	dir, err := r.Dump("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "prof.json"))
+	if err != nil {
+		t.Fatalf("dump missing prof.json: %v", err)
+	}
+	if !strings.Contains(string(raw), `"enabled":true`) {
+		t.Errorf("prof.json = %q", raw)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(manifest), "prof.json") {
+		t.Errorf("MANIFEST does not list prof.json:\n%s", manifest)
+	}
+}
+
 func TestFlightRecorderZeroBudget(t *testing.T) {
 	root := t.TempDir()
 	r := NewFlightRecorder(root, 4)
-	r.SetSources(NewWithCapacity(8), nil, nil, nil)
+	r.SetSources(NewWithCapacity(8), nil, nil, nil, nil)
 	r.SetBudget(0, 0, false)
 	dir, err := r.Dump("crash")
 	if err != nil || dir != "" {
@@ -215,7 +261,7 @@ func TestFlightRecorderZeroBudget(t *testing.T) {
 func TestFlightRecorderByteBudgetSmallerThanManifest(t *testing.T) {
 	root := t.TempDir()
 	r := NewFlightRecorder(root, 4)
-	r.SetSources(NewWithCapacity(8), nil, nil, nil)
+	r.SetSources(NewWithCapacity(8), nil, nil, nil, nil)
 	// Even a lone MANIFEST.txt exceeds 10 bytes: the dump must be written,
 	// measured, and removed without leaving a partial directory.
 	r.SetBudget(64, 10, false)
@@ -235,7 +281,7 @@ func TestFlightRecorderByteBudgetSmallerThanManifest(t *testing.T) {
 func TestFlightRecorderRotation(t *testing.T) {
 	root := t.TempDir()
 	r := NewFlightRecorder(root, 4)
-	r.SetSources(NewWithCapacity(8), nil, nil, nil)
+	r.SetSources(NewWithCapacity(8), nil, nil, nil, nil)
 	r.SetBudget(3, 0, true)
 	// Fill the directory to its dump budget, then keep dumping: rotation
 	// must evict the oldest instead of skipping the newest.
@@ -278,7 +324,7 @@ func TestFlightRecorderRotation(t *testing.T) {
 
 func TestFlightRecorderNil(t *testing.T) {
 	var r *FlightRecorder
-	r.SetSources(nil, nil, nil, nil)
+	r.SetSources(nil, nil, nil, nil, nil)
 	dir, err := r.Dump("crash")
 	if err != nil || dir != "" {
 		t.Errorf("nil recorder Dump = %q, %v", dir, err)

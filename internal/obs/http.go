@@ -27,12 +27,15 @@ import (
 //	                    integer id); bare /audit/txn lists all trails
 //	/audit/violations   the online IFA auditor's typed violations
 //	/timeseries         windowed metrics ring + anomaly watchdog findings
+//	/prof/stripes       contention profiler: per-stripe lock counters
+//	/prof/workers       contention profiler: per-phase worker attribution
 //	/debug/pprof/       the standard Go profiler endpoints
 //
 // o may be nil (endpoints degrade to empty documents), graph may be nil
-// (/deps explains that no tracker is attached), and aud may be nil (the
-// audit endpoints report {"enabled": false}).
-func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource) http.Handler {
+// (/deps explains that no tracker is attached), aud may be nil (the audit
+// endpoints report {"enabled": false}), and prf may be nil (the /prof
+// endpoints likewise report {"enabled": false}).
+func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -47,6 +50,12 @@ func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource) http.Handle
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := o.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if prf != nil {
+			if err := prf.WriteProfProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
@@ -98,6 +107,22 @@ func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource) http.Handle
 	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, _ *http.Request) {
 		auditJSON(w, func(out io.Writer) error { return aud.WriteTimeSeries(out) })
 	})
+	profJSON := func(w http.ResponseWriter, write func(io.Writer) error) {
+		w.Header().Set("Content-Type", "application/json")
+		if prf == nil {
+			fmt.Fprintln(w, `{"enabled": false}`)
+			return
+		}
+		if err := write(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/prof/stripes", func(w http.ResponseWriter, _ *http.Request) {
+		profJSON(w, func(out io.Writer) error { return prf.WriteProfStripes(out) })
+	})
+	mux.HandleFunc("/prof/workers", func(w http.ResponseWriter, _ *http.Request) {
+		profJSON(w, func(out io.Writer) error { return prf.WriteProfWorkers(out) })
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -109,7 +134,7 @@ func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource) http.Handle
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "smdb introspection endpoints:\n  /healthz\n  /metrics\n  /trace\n  /deps[?format=json]\n  /audit/txn[/{id}]\n  /audit/violations\n  /timeseries\n  /debug/pprof/")
+		fmt.Fprintln(w, "smdb introspection endpoints:\n  /healthz\n  /metrics\n  /trace\n  /deps[?format=json]\n  /audit/txn[/{id}]\n  /audit/violations\n  /timeseries\n  /prof/stripes\n  /prof/workers\n  /debug/pprof/")
 	})
 	return mux
 }
@@ -125,14 +150,14 @@ type HTTPServer struct {
 // ServeHTTP starts the introspection server on addr (e.g. "127.0.0.1:8321"
 // or "127.0.0.1:0") in a background goroutine and returns once the listener
 // is bound. Close with Shutdown.
-func ServeHTTP(addr string, o *Observer, graph GraphWriter, aud AuditSource) (*HTTPServer, error) {
+func ServeHTTP(addr string, o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource) (*HTTPServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &HTTPServer{
 		Addr: lis.Addr().String(),
-		srv:  &http.Server{Handler: NewHTTPHandler(o, graph, aud)},
+		srv:  &http.Server{Handler: NewHTTPHandler(o, graph, aud, prf)},
 		lis:  lis,
 	}
 	go func() { _ = s.srv.Serve(lis) }()

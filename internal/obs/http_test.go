@@ -19,7 +19,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string, string) {
 }
 
 func TestHTTPHandlerEndpoints(t *testing.T) {
-	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{})
+	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{})
 
 	code, body, _ := get(t, h, "/healthz")
 	if code != 200 || !strings.HasPrefix(body, "ok events=") {
@@ -65,6 +65,19 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 		t.Errorf("/timeseries = %d %q %q", code, ctype, body)
 	}
 
+	code, body, ctype = get(t, h, "/prof/stripes")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"stripes"`) {
+		t.Errorf("/prof/stripes = %d %q %q", code, ctype, body)
+	}
+	code, body, ctype = get(t, h, "/prof/workers")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"phases"`) {
+		t.Errorf("/prof/workers = %d %q %q", code, ctype, body)
+	}
+	code, body, _ = get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "smdb_prof_stripe_acquires_total") {
+		t.Errorf("/metrics does not append profiler lines: %d\n%s", code, body)
+	}
+
 	code, _, _ = get(t, h, "/debug/pprof/cmdline")
 	if code != 200 {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
@@ -81,7 +94,7 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 }
 
 func TestHTTPHandlerNilSources(t *testing.T) {
-	h := NewHTTPHandler(nil, nil, nil)
+	h := NewHTTPHandler(nil, nil, nil, nil)
 	code, body, _ := get(t, h, "/deps")
 	if code != 200 || !strings.Contains(body, "no dependency tracker attached") {
 		t.Errorf("/deps with nil graph = %d %q", code, body)
@@ -94,16 +107,16 @@ func TestHTTPHandlerNilSources(t *testing.T) {
 	if code != 200 {
 		t.Errorf("/metrics with nil observer = %d", code)
 	}
-	for _, path := range []string{"/audit/txn", "/audit/txn/t0.1", "/audit/violations", "/timeseries"} {
+	for _, path := range []string{"/audit/txn", "/audit/txn/t0.1", "/audit/violations", "/timeseries", "/prof/stripes", "/prof/workers"} {
 		code, body, _ := get(t, h, path)
 		if code != 200 || !strings.Contains(body, `"enabled": false`) {
-			t.Errorf("%s with nil audit source = %d %q", path, code, body)
+			t.Errorf("%s with nil source = %d %q", path, code, body)
 		}
 	}
 }
 
 func TestServeHTTPLive(t *testing.T) {
-	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil, nil)
+	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

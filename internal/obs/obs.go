@@ -91,6 +91,11 @@ const (
 	// transaction's home node, A = its transaction id, B packs the node now
 	// holding its uncommitted data with the line (to<<32 | line).
 	KindDepEdge
+	// KindProfFanout is one parallel-recovery fan-out recorded by the
+	// contention profiler (internal/obs/prof): Phase names the fanned-out
+	// phase, Dur is *host* wall-clock nanoseconds (not simulated time),
+	// A = worker count, B = summed worker busy nanoseconds.
+	KindProfFanout
 
 	numKinds
 )
@@ -100,7 +105,7 @@ var kindNames = [numKinds]string{
 	"wal-append", "wal-force", "lock-acquire", "lock-wait", "deadlock",
 	"txn-begin", "txn-commit", "txn-abort", "page-fetch", "page-flush",
 	"crash", "phase", "recovery", "fault", "io-retry",
-	"replicate", "install", "discard", "dep-edge",
+	"replicate", "install", "discard", "dep-edge", "prof-fanout",
 }
 
 func (k Kind) String() string {

@@ -21,6 +21,7 @@ import (
 	"smdb/internal/obs"
 	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
+	"smdb/internal/obs/prof"
 	"smdb/internal/recovery"
 )
 
@@ -36,6 +37,7 @@ type Flags struct {
 	FlightN   int           // -flightn: per-node event tail in each dump
 	Audit     bool          // -audit: per-txn trails + online IFA auditor + time series
 	Window    time.Duration // -window: audit time-series window width (simulated time)
+	Prof      bool          // -prof: stripe-contention + worker cost-attribution profiler
 
 	// RecoverWorkers is -recoverworkers: the restart-recovery fan-out every
 	// cmd copies into recovery.Config.RecoveryWorkers (0 or 1 = sequential).
@@ -57,13 +59,14 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.FlightN, "flightn", obs.DefaultFlightEvents, "events retained per node in each flight dump")
 	fs.BoolVar(&f.Audit, "audit", false, "per-transaction audit trails, the online IFA auditor, and windowed time-series metrics")
 	fs.DurationVar(&f.Window, "window", time.Millisecond, "audit time-series window width, in simulated time")
+	fs.BoolVar(&f.Prof, "prof", false, "per-stripe lock contention and per-worker recovery cost profiling (/prof/stripes, /prof/workers, end-of-run report)")
 	fs.IntVar(&f.RecoverWorkers, "recoverworkers", 0, "parallel restart-recovery workers (0 = sequential)")
 	return f
 }
 
 // Enabled reports whether any observability surface was requested.
 func (f *Flags) Enabled() bool {
-	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != "" || f.Audit
+	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != "" || f.Audit || f.Prof
 }
 
 // Stack is the assembled observability stack for one command run. The
@@ -79,6 +82,7 @@ type Stack struct {
 	flags  *Flags
 	cur    atomic.Pointer[deps.Tracker]
 	aud    atomic.Pointer[audit.Auditor]
+	prof   atomic.Pointer[prof.Pair]
 
 	holdStop chan struct{}
 	holdOnce sync.Once
@@ -105,6 +109,26 @@ func (s *Stack) WriteAuditViolations(w io.Writer) error { return s.aud.Load().Wr
 // WriteTimeSeries renders the current auditor's windowed metrics.
 func (s *Stack) WriteTimeSeries(w io.Writer) error { return s.aud.Load().WriteTimeSeries(w) }
 
+// WriteProfStripes, WriteProfWorkers, WriteProfJSON, and WriteProfProm make
+// Stack the obs.ProfSource handed to the HTTP server and flight recorder,
+// delegating to the profiler pair from the most recent Attach (the prof.Pair
+// writers are nil-receiver safe, reporting {"enabled": false} before the
+// first Attach or with -prof off).
+func (s *Stack) WriteProfStripes(w io.Writer) error { return s.prof.Load().WriteProfStripes(w) }
+
+// WriteProfWorkers renders the current profiler's worker attribution.
+func (s *Stack) WriteProfWorkers(w io.Writer) error { return s.prof.Load().WriteProfWorkers(w) }
+
+// WriteProfJSON renders the current profiler's combined document.
+func (s *Stack) WriteProfJSON(w io.Writer) error { return s.prof.Load().WriteProfJSON(w) }
+
+// WriteProfProm renders the current profiler's Prometheus lines.
+func (s *Stack) WriteProfProm(w io.Writer) error { return s.prof.Load().WriteProfProm(w) }
+
+// Prof returns the profiler pair from the most recent Attach (nil before the
+// first, or with -prof off).
+func (s *Stack) Prof() *prof.Pair { return s.prof.Load() }
+
 // Tracker returns the dependency tracker from the most recent Attach (nil
 // before the first).
 func (s *Stack) Tracker() *deps.Tracker { return s.cur.Load() }
@@ -130,12 +154,12 @@ func (f *Flags) Build() (*Stack, error) {
 		s.Flight = obs.NewFlightRecorder(f.FlightDir, f.FlightN)
 	}
 	if f.HTTP != "" {
-		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s, s)
+		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s, s, s)
 		if err != nil {
 			return nil, fmt.Errorf("-http: %w", err)
 		}
 		s.HTTP = srv
-		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (metrics, trace, deps, audit, timeseries, healthz, pprof)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/ (metrics, trace, deps, audit, timeseries, prof, healthz, pprof)\n", srv.Addr)
 	}
 	return s, nil
 }
@@ -168,6 +192,13 @@ func (s *Stack) Attach(db *recovery.DB) *deps.Tracker {
 		})
 		db.AttachAudit(a)
 		s.aud.Store(a)
+	}
+	if s.flags.Prof {
+		// A fresh pair per DB, like the tracker and auditor; attach before
+		// the flight recorder so prof.json joins its dumps.
+		p := prof.NewPair(machine.StripeCount)
+		db.AttachProf(p)
+		s.prof.Store(p)
 	}
 	if s.Flight != nil {
 		db.SetFlightRecorder(s.Flight)
@@ -230,6 +261,10 @@ func (s *Stack) Finish(out io.Writer) error {
 		for k, n := range sum.ViolationsByKind {
 			fmt.Fprintf(out, "  %s: %d\n", k, n)
 		}
+	}
+	if p := s.prof.Load(); p != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, p.Report(5))
 	}
 	if s.flags.Trace != "" {
 		f, err := os.Create(s.flags.Trace)

@@ -14,6 +14,7 @@ import (
 	"smdb/internal/obs"
 	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
+	"smdb/internal/obs/prof"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -223,6 +224,9 @@ type DB struct {
 	// flight is the attached crash flight recorder (nil when disabled;
 	// nil-safe); see SetFlightRecorder.
 	flight *obs.FlightRecorder
+	// prof is the attached contention & cost-attribution profiler pair
+	// (nil when disabled; nil-safe); see AttachProf.
+	prof *prof.Pair
 	// fault is the attached chaos injector (nil when chaos is off); see
 	// AttachFaults.
 	fault *fault.Injector
@@ -380,6 +384,43 @@ func (db *DB) Audit() *audit.Auditor {
 	return db.audit
 }
 
+// AttachProf wires the contention & cost-attribution profiler: the stripe
+// half attaches to the machine's lock helpers (every stripe acquisition,
+// contended or not, and every condvar sleep is counted from here on) and the
+// worker half receives per-phase cost attribution from the parallel restart
+// pipeline. Passing nil detaches both. Unlike the observer, the profiler is
+// safe to attach and detach mid-run: open critical sections straddling the
+// switch account only the half they saw.
+func (db *DB) AttachProf(p *prof.Pair) {
+	if p != nil {
+		db.M.SetProfiler(p.Stripes)
+	} else {
+		db.M.SetProfiler(nil)
+	}
+	db.mu.Lock()
+	db.prof = p
+	db.mu.Unlock()
+}
+
+// Prof returns the attached profiler pair (nil when disabled).
+func (db *DB) Prof() *prof.Pair {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.prof
+}
+
+// profWorkers returns the worker-attribution half of the attached profiler,
+// nil when profiling is off (the parallel pipeline tests this once per
+// fan-out).
+func (db *DB) profWorkers() *prof.WorkerProf {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.prof == nil {
+		return nil
+	}
+	return db.prof.Workers
+}
+
 // SetFlightRecorder wires a crash flight recorder: on every node crash a
 // post-mortem dump (last-N events per node, dependency graph, stats deltas
 // since the previous dump) is written at the next Recover entry, and
@@ -403,12 +444,16 @@ func (db *DB) SetFlightRecorder(r *obs.FlightRecorder) {
 	if a != nil {
 		as = a
 	}
+	var ps obs.ProfSource
+	if p := db.Prof(); p != nil {
+		ps = p
+	}
 	// Stats writer: machine + protocol counters as deltas since the last
 	// dump, so each dump reads as "what happened since the previous one".
 	var prevM machine.Stats
 	var prevP Stats
 	var prevMu sync.Mutex
-	r.SetSources(o, g, as, func(w io.Writer) error {
+	r.SetSources(o, g, as, ps, func(w io.Writer) error {
 		curM := db.M.Stats()
 		curP := db.Stats()
 		prevMu.Lock()

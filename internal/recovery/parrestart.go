@@ -8,6 +8,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/prof"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -41,37 +42,79 @@ type ParPhase struct {
 // task fails — recovery tasks are idempotent and a retrying Recover would
 // repeat them anyway, so draining is simpler than cancellation and keeps the
 // shard-merge logic unconditional.
-func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f func(i int) error) error {
+//
+// With a profiler attached, each worker owns a TaskMeter: task busy time is
+// measured around every f call, and tasks report records/bytes through the
+// meter (nil when profiling is off — TaskMeter methods are nil-safe, but
+// tasks that would do extra counting work guard on tm != nil). The inline
+// workers<=1 path stays allocation- and clock-free when no profiler is
+// attached; when one is, the whole loop is attributed as a one-worker
+// fan-out so sequential runs produce the same busy accounting shape the
+// parallel pipeline does.
+func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f func(i int, tm *prof.TaskMeter) error) error {
 	if workers > n {
 		workers = n
 	}
+	wp := db.profWorkers()
 	if workers <= 1 {
+		if wp == nil {
+			for i := 0; i < n; i++ {
+				if err := f(i, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		start := time.Now()
+		meters := make([]prof.TaskMeter, 1)
+		var ferr error
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
+			t0 := prof.Now()
+			err := f(i, &meters[0])
+			meters[0].AddTask(prof.Now() - t0)
+			if err != nil {
+				ferr = err
+				break
 			}
 		}
-		return nil
+		db.recordFanout(wp, phase, 1, time.Since(start), meters)
+		return ferr
 	}
 	start := time.Now()
 	errs := make([]error, n)
+	var meters []prof.TaskMeter
+	if wp != nil {
+		meters = make([]prof.TaskMeter, workers)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var tm *prof.TaskMeter
+			if meters != nil {
+				tm = &meters[w]
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = f(i)
+				if tm != nil {
+					t0 := prof.Now()
+					errs[i] = f(i, tm)
+					tm.AddTask(prof.Now() - t0)
+				} else {
+					errs[i] = f(i, nil)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	rep.ParPhases = append(rep.ParPhases, ParPhase{Phase: phase, Fanout: workers, Wall: time.Since(start)})
+	wall := time.Since(start)
+	rep.ParPhases = append(rep.ParPhases, ParPhase{Phase: phase, Fanout: workers, Wall: wall})
+	db.recordFanout(wp, phase, workers, wall, meters)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -80,14 +123,39 @@ func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f
 	return nil
 }
 
+// recordFanout feeds one completed fan-out into the worker profiler and, when
+// an observer is attached, emits a KindProfFanout span so the fan-out shows
+// up in the Chrome trace (anchored at the recovery's simulated position, with
+// host wall-clock duration and summed worker busy time as args).
+func (db *DB) recordFanout(wp *prof.WorkerProf, phase obs.Phase, workers int, wall time.Duration, meters []prof.TaskMeter) {
+	if wp == nil {
+		return
+	}
+	wp.RecordFanout(phase.String(), wall.Nanoseconds(), meters)
+	var busy int64
+	for i := range meters {
+		busy += meters[i].BusyNS
+	}
+	db.Observer().Record(obs.Event{
+		Kind: obs.KindProfFanout, Phase: phase, Node: obs.SystemNode,
+		Sim: db.M.MaxClock(), Dur: wall.Nanoseconds(),
+		A: int64(workers), B: busy,
+	})
+}
+
 // flushAllCachesPar discards every surviving node's cached database lines,
 // one DiscardAll sweep per node, fanned out across the workers (Redo All
 // step 1; nodes' discard sets are disjoint except for shared lines, which
 // DiscardAll drops per-holder under the line's stripe).
 func (db *DB) flushAllCachesPar(alive []machine.NodeID, rep *RecoveryReport, w int) {
+	lineSize := db.M.LineSize()
 	// DiscardAll cannot fail; forEachPar's error is structurally nil.
-	_ = db.forEachPar(rep, obs.PhaseRedoScan, len(alive), w, func(i int) error {
-		db.M.DiscardAll(alive[i], db.Store.Contains)
+	_ = db.forEachPar(rep, obs.PhaseRedoScan, len(alive), w, func(i int, tm *prof.TaskMeter) error {
+		dropped := db.M.DiscardAll(alive[i], db.Store.Contains)
+		if tm != nil {
+			tm.AddRecords(dropped)
+			tm.AddBytes(dropped * lineSize)
+		}
 		return nil
 	})
 }
@@ -99,19 +167,46 @@ func (db *DB) collectRedoPar(alive []machine.NodeID, rep *RecoveryReport, w int)
 	coord := alive[0]
 	n := db.M.Nodes()
 	parts := make([][]redoCand, n)
-	err := db.forEachPar(rep, obs.PhaseRedoScan, n, w, func(i int) error {
+	err := db.forEachPar(rep, obs.PhaseRedoScan, n, w, func(i int, tm *prof.TaskMeter) error {
 		part, err := db.collectRedoNode(machine.NodeID(i), coord)
 		parts[i] = part
+		if tm != nil {
+			tm.AddRecords(len(part))
+			b := 0
+			for _, c := range part {
+				b += len(c.rec.Before) + len(c.rec.After)
+			}
+			tm.AddBytes(b)
+		}
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
+	mergeStart := profMergeStart(db)
 	var cands []redoCand
 	for _, part := range parts {
 		cands = append(cands, part...)
 	}
+	profMergeEnd(db, obs.PhaseRedoScan, mergeStart)
 	return cands, nil
+}
+
+// profMergeStart/profMergeEnd bracket a sequential merge step (concatenation,
+// shard roll-up, dedupe) so the profiler can separate merge cost from worker
+// busy time. With no profiler attached both are single branch no-ops.
+func profMergeStart(db *DB) int64 {
+	if db.profWorkers() == nil {
+		return -1
+	}
+	return prof.Now()
+}
+
+func profMergeEnd(db *DB, phase obs.Phase, start int64) {
+	if start < 0 {
+		return
+	}
+	db.profWorkers().AddMerge(phase.String(), prof.Now()-start)
 }
 
 // pageBuckets partitions redo candidates by page, preserving candidate-list
@@ -137,7 +232,8 @@ func pageBuckets(cands []redoCand) [][]redoCand {
 // worker, so concurrent workers fetch disjoint pages.
 func (db *DB) probeRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 	buckets := pageBuckets(cands)
-	return db.forEachPar(rep, obs.PhaseProbe, len(buckets), w, func(i int) error {
+	return db.forEachPar(rep, obs.PhaseProbe, len(buckets), w, func(i int, tm *prof.TaskMeter) error {
+		tm.AddRecords(len(buckets[i]))
 		return db.probeRedoSlice(buckets[i])
 	})
 }
@@ -149,7 +245,15 @@ func (db *DB) probeRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 func (db *DB) applyRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 	buckets := pageBuckets(cands)
 	shards := make([]RecoveryReport, len(buckets))
-	err := db.forEachPar(rep, obs.PhaseRedoApply, len(buckets), w, func(i int) error {
+	err := db.forEachPar(rep, obs.PhaseRedoApply, len(buckets), w, func(i int, tm *prof.TaskMeter) error {
+		if tm != nil {
+			tm.AddRecords(len(buckets[i]))
+			b := 0
+			for _, c := range buckets[i] {
+				b += len(c.rec.After)
+			}
+			tm.AddBytes(b)
+		}
 		for _, c := range buckets[i] {
 			rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
 			if err := db.redoRecord(c.onto, c.rec, rid, &shards[i]); err != nil {
@@ -158,10 +262,12 @@ func (db *DB) applyRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 		}
 		return nil
 	})
+	mergeStart := profMergeStart(db)
 	for i := range shards {
 		rep.RedoApplied += shards[i].RedoApplied
 		rep.RedoSkipped += shards[i].RedoSkipped
 	}
+	profMergeEnd(db, obs.PhaseRedoApply, mergeStart)
 	return err
 }
 
@@ -181,8 +287,9 @@ func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryRepor
 	// Tagger indexes for every survivor up front: the scans below read them
 	// concurrently, so the lazy build of the sequential path would race.
 	idx := make([]map[slotVer]wal.TxnID, db.M.Nodes())
-	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int) error {
+	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int, tm *prof.TaskMeter) error {
 		idx[alive[i]] = db.buildTaggerIndex(alive[i])
+		tm.AddRecords(len(idx[alive[i]]))
 		return nil
 	}); err != nil {
 		return err
@@ -190,13 +297,15 @@ func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryRepor
 	taggerIndex := func(n machine.NodeID) map[slotVer]wal.TxnID { return idx[n] }
 	acts := make([][]tagAction, len(alive))
 	lines := make([]int, len(alive))
-	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int) error {
+	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int, tm *prof.TaskMeter) error {
 		a, l, err := db.scanNodeTags(alive[i], down, taggerIndex)
 		acts[i], lines[i] = a, l
+		tm.AddRecords(l)
 		return err
 	}); err != nil {
 		return err
 	}
+	mergeStart := profMergeStart(db)
 	seen := make(map[heap.RID]bool)
 	var merged []tagAction
 	for i := range acts {
@@ -209,6 +318,7 @@ func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryRepor
 			merged = append(merged, a)
 		}
 	}
+	profMergeEnd(db, obs.PhaseUndoTagScan, mergeStart)
 	return db.applyTagActions(merged, crashed, rep)
 }
 
@@ -219,9 +329,10 @@ func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryRepor
 // the log-suppression latch.
 func (db *DB) replaySurvivorLocksPar(alive []machine.NodeID, rep *RecoveryReport, w int) (int, error) {
 	counts := make([]int, len(alive))
-	err := db.forEachPar(rep, obs.PhaseLockRebuild, len(alive), w, func(i int) error {
+	err := db.forEachPar(rep, obs.PhaseLockRebuild, len(alive), w, func(i int, tm *prof.TaskMeter) error {
 		n, err := db.replayNodeLocks(alive[i])
 		counts[i] = n
+		tm.AddRecords(n)
 		return err
 	})
 	total := 0

@@ -8,6 +8,7 @@ import (
 	"smdb/internal/lock"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/prof"
 	"smdb/internal/wal"
 )
 
@@ -54,6 +55,19 @@ type RecoveryReport struct {
 	// worker count used and the host wall-clock time spent. Empty on
 	// sequential runs.
 	ParPhases []ParPhase
+	// Prof is the profiler's view of this recovery — per-phase worker cost
+	// attribution and per-stripe contention deltas across the Recover call.
+	// Nil unless a profiler is attached (AttachProf).
+	Prof *RecoveryProfile
+}
+
+// RecoveryProfile is the delta of the attached profiler's counters across one
+// Recover call: what the parallel pipeline's workers did (busy/wait/tasks/
+// records/bytes per phase) and what the machine's stripes saw (acquisitions,
+// contention, condvar sleeps) while recovery ran.
+type RecoveryProfile struct {
+	Workers prof.WorkerSnapshot
+	Stripes prof.StripeSnapshot
 }
 
 // PhaseTime returns the simulated duration spent in phase p (0 if the phase
@@ -96,6 +110,9 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	}
 	defer db.frozen.Store(false)
 	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: mergeNodes(crashed, nil), Workers: db.parWorkers()}
+	// The profiler span covers the whole call, every early return included,
+	// so rep.Prof is the exact counter delta attributable to this recovery.
+	defer db.startProfSpan(rep)()
 	startClock := db.M.MaxClock()
 	o := db.Observer()
 
@@ -177,6 +194,24 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
 	db.noteRecovered(rep)
 	return rep, nil
+}
+
+// startProfSpan snapshots the attached profiler at Recover entry and returns
+// a closure storing the end-minus-start delta in rep.Prof. With no profiler
+// attached both halves are no-ops.
+func (db *DB) startProfSpan(rep *RecoveryReport) func() {
+	p := db.Prof()
+	if p == nil {
+		return func() {}
+	}
+	w0 := p.Workers.Snapshot()
+	s0 := p.Stripes.Snapshot()
+	return func() {
+		rep.Prof = &RecoveryProfile{
+			Workers: p.Workers.Snapshot().Sub(w0),
+			Stripes: p.Stripes.Snapshot().Sub(s0),
+		}
+	}
 }
 
 // noteRecovered tells the dependency tracker and the online auditor which
