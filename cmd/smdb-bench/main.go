@@ -245,6 +245,10 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 
+	if err := obsFlags.RejectSched("smdb-bench"); err != nil {
+		fmt.Fprintf(os.Stderr, "smdb-bench: %v\n", err)
+		os.Exit(1)
+	}
 	known := *exp == "all"
 	for _, e := range experiments {
 		if e.name == *exp {

@@ -59,6 +59,9 @@ func main() {
 	obsFlags := obscli.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := obsFlags.RejectSched("smdb-sim"); err != nil {
+		fatal(err)
+	}
 	proto, ok := protocols[*protoName]
 	if !ok {
 		fatal(fmt.Errorf("unknown protocol %q", *protoName))

@@ -75,6 +75,20 @@ type Manager struct {
 	updTable map[storage.PageID]map[machine.NodeID]wal.LSN
 	stats    Stats
 	obs      *obs.Observer
+	// fetchHook, when non-nil, is called at every Fetch entry with no
+	// manager state held. The chaos schedule recorder uses it as a
+	// scheduling point: a fetch is where a crash-lost page is faulted back
+	// in from disk, i.e. the hazard window of the stale-reinstall race.
+	fetchHook func(machine.NodeID, storage.PageID)
+}
+
+// SetFetchHook attaches (or, with nil, detaches) the Fetch-entry callback.
+// The hook may block (the schedule replayer parks callers on it); it is
+// invoked outside the manager mutex.
+func (b *Manager) SetFetchHook(f func(machine.NodeID, storage.PageID)) {
+	b.mu.Lock()
+	b.fetchHook = f
+	b.mu.Unlock()
 }
 
 // SetObserver attaches the observability layer; disk fetches, flushes, and
@@ -121,7 +135,11 @@ func (b *Manager) Stats() Stats {
 func (b *Manager) Fetch(nd machine.NodeID, p storage.PageID) error {
 	b.mu.Lock()
 	b.stats.Fetches++
+	hook := b.fetchHook
 	b.mu.Unlock()
+	if hook != nil {
+		hook(nd, p)
+	}
 	if b.Store.ResidentPage(p) {
 		return nil
 	}

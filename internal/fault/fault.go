@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"smdb/internal/machine"
+	"smdb/internal/sched"
 	"smdb/internal/storage"
 )
 
@@ -114,6 +115,9 @@ type Injector struct {
 	burst   map[string]int
 	firings []Firing
 	stats   Stats
+	// sched, when non-nil, records or replays every PRNG outcome at a keyed
+	// decision site (see SetSched). Nil costs one pointer test per decision.
+	sched *sched.Session
 }
 
 // New builds an injector for the given plan. The injector starts disarmed.
@@ -124,6 +128,17 @@ func New(plan Plan) *Injector {
 		rng:   rand.New(rand.NewSource(plan.Seed)),
 		burst: make(map[string]int),
 	}
+}
+
+// SetSched attaches (or, with nil, detaches) a chaos schedule session. When
+// recording, every decision's PRNG outcome is appended to the schedule at a
+// keyed site; when replaying, decisions consume the recorded outcomes and
+// never touch the PRNG — so a replayed run fires exactly the recorded
+// faults (same victims, same torn fractions) regardless of timing.
+func (in *Injector) SetSched(s *sched.Session) {
+	in.mu.Lock()
+	in.sched = s
+	in.mu.Unlock()
 }
 
 // Plan returns the (defaulted) plan.
@@ -201,7 +216,10 @@ func (in *Injector) CrashAtMigration(ev machine.Event, alive int) []machine.Node
 	if !in.armed || in.inRecovery || ev.From < 0 || !in.crashBudgetLocked(alive) {
 		return nil
 	}
-	if in.rng.Float64() >= in.plan.PCrashAtMigration {
+	d := in.sched.Draw(fmt.Sprintf("migrate:%d", ev.From), func() sched.Draw {
+		return sched.Draw{Fire: in.rng.Float64() < in.plan.PCrashAtMigration}
+	})
+	if !d.Fire {
 		return nil
 	}
 	in.crashes++
@@ -218,7 +236,10 @@ func (in *Injector) CrashAtUpdate(nd machine.NodeID, alive int) bool {
 	if !in.armed || in.inRecovery || !in.crashBudgetLocked(alive) {
 		return false
 	}
-	if in.rng.Float64() >= in.plan.PCrashAtUpdate {
+	d := in.sched.Draw(fmt.Sprintf("update:%d", nd), func() sched.Draw {
+		return sched.Draw{Fire: in.rng.Float64() < in.plan.PCrashAtUpdate}
+	})
+	if !d.Fire {
 		return false
 	}
 	in.crashes++
@@ -236,14 +257,20 @@ func (in *Injector) TornForce(nd machine.NodeID, alive int) (frac float64, fire 
 	if !in.armed || in.inRecovery || !in.crashBudgetLocked(alive) {
 		return 0, false
 	}
-	if in.rng.Float64() >= in.plan.PTornForce {
+	d := in.sched.Draw(fmt.Sprintf("torn:%d", nd), func() sched.Draw {
+		if in.rng.Float64() >= in.plan.PTornForce {
+			return sched.Draw{}
+		}
+		return sched.Draw{Fire: true, Frac: 0.1 + 0.8*in.rng.Float64()}
+	})
+	if !d.Fire {
 		return 0, false
 	}
 	in.crashes++
 	in.stats.Crashes++
 	in.stats.TornForces++
 	in.firings = append(in.firings, Firing{Site: "torn-force", Node: nd})
-	return 0.1 + 0.8*in.rng.Float64(), true
+	return d.Frac, true
 }
 
 // CrashInRecovery decides whether a node crashes at a restart-recovery phase
@@ -255,21 +282,28 @@ func (in *Injector) CrashInRecovery(phase string, coord machine.NodeID, alive []
 	if !in.armed || !in.crashBudgetLocked(len(alive)) {
 		return nil
 	}
-	if in.rng.Float64() >= in.plan.PCrashInRecovery {
-		return nil
-	}
-	victim := coord
-	if in.rng.Float64() >= in.plan.PCoordinatorCrash {
-		var others []machine.NodeID
-		for _, n := range alive {
-			if n != coord {
-				others = append(others, n)
+	d := in.sched.Draw("recovery:"+phase, func() sched.Draw {
+		if in.rng.Float64() >= in.plan.PCrashInRecovery {
+			return sched.Draw{}
+		}
+		victim := coord
+		if in.rng.Float64() >= in.plan.PCoordinatorCrash {
+			var others []machine.NodeID
+			for _, n := range alive {
+				if n != coord {
+					others = append(others, n)
+				}
+			}
+			if len(others) > 0 {
+				victim = others[in.rng.Intn(len(others))]
 			}
 		}
-		if len(others) > 0 {
-			victim = others[in.rng.Intn(len(others))]
-		}
+		return sched.Draw{Fire: true, Node: int32(victim)}
+	})
+	if !d.Fire {
+		return nil
 	}
+	victim := machine.NodeID(d.Node)
 	in.crashes++
 	in.stats.Crashes++
 	in.stats.RecoveryCrashes++
@@ -290,7 +324,10 @@ func (in *Injector) IOError(site string) error {
 		in.burst[site] = 0
 		return nil
 	}
-	if in.rng.Float64() >= in.plan.PIOError {
+	d := in.sched.Draw("io:"+site, func() sched.Draw {
+		return sched.Draw{Fire: in.rng.Float64() < in.plan.PIOError}
+	})
+	if !d.Fire {
 		in.burst[site] = 0
 		return nil
 	}

@@ -248,6 +248,15 @@ func (m *Machine) Install(nd NodeID, l LineID, data []byte) error {
 	if ln.lock.held {
 		return ErrLineLockHeld
 	}
+	if gate := m.hooks.Load().installGate; gate != nil {
+		// Consulted with the stripe held: a concurrent Crash cannot publish
+		// its state change (it needs every stripe) until this install — and
+		// therefore this gate decision — completes.
+		if err := gate(nd, l); err != nil {
+			return err
+		}
+	}
+	m.schedNote(nd, "install", l)
 	if ln.data == nil {
 		ln.data = make([]byte, m.cfg.LineSize)
 	}

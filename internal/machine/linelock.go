@@ -32,6 +32,7 @@ func (m *Machine) GetLine(nd NodeID, l LineID) error {
 	if err != nil {
 		return err
 	}
+	m.schedNote(nd, "getline", l)
 	// If an injected fault named nd itself, the crash sweep below breaks
 	// the lock nd just acquired, so the error return leaves no dangling
 	// ownership — same observable outcome as the old order, which crashed

@@ -271,9 +271,24 @@ type hookSet struct {
 	preTransition   PreTransitionFunc
 	transitionFault TransitionFaultFunc
 	crashNotify     func(CrashReport)
+	installGate     InstallGateFunc
+	schedNote       SchedNoteFunc
 	obs             *obs.Observer
 	prof            *prof.StripeProf
 }
+
+// InstallGateFunc is consulted by Install with the line's stripe held,
+// before any bytes change. A non-nil error vetoes the install. Because a
+// crash acquires every stripe before publishing its state change, a gate
+// that reads crash-published state (e.g. the database's frozen flag) can
+// never race with the crash itself: the flag cannot flip while the install
+// holds its stripe. The hook must not call back into the Machine.
+type InstallGateFunc func(nd NodeID, l LineID) error
+
+// SchedNoteFunc annotates low-level interleaving (line-lock grants,
+// installs) for the chaos schedule recorder. It may be called with a stripe
+// held, so it must be cheap and must not call back into the Machine.
+type SchedNoteFunc func(nd NodeID, site string, l LineID)
 
 // Machine is a simulated cache-coherent shared-memory multiprocessor.
 // All methods are safe for concurrent use by multiple goroutines.
@@ -426,6 +441,25 @@ func (m *Machine) SetTransitionFault(f TransitionFaultFunc) {
 // Passing nil removes it.
 func (m *Machine) SetCrashNotify(f func(CrashReport)) {
 	m.setHooks(func(hk *hookSet) { hk.crashNotify = f })
+}
+
+// SetInstallGate installs (or, with nil, removes) the install veto hook.
+// See InstallGateFunc for the concurrency contract.
+func (m *Machine) SetInstallGate(f InstallGateFunc) {
+	m.setHooks(func(hk *hookSet) { hk.installGate = f })
+}
+
+// SetSchedNote installs (or, with nil, removes) the schedule-recorder
+// annotation hook. See SchedNoteFunc for the concurrency contract.
+func (m *Machine) SetSchedNote(f SchedNoteFunc) {
+	m.setHooks(func(hk *hookSet) { hk.schedNote = f })
+}
+
+// schedNote emits a schedule annotation if a recorder hook is attached.
+func (m *Machine) schedNote(nd NodeID, site string, l LineID) {
+	if f := m.hooks.Load().schedNote; f != nil {
+		f(nd, site, l)
+	}
 }
 
 // SetObserver attaches (or, with nil, detaches) the observability layer.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +73,7 @@ type FlightRecorder struct {
 	audit    AuditSource
 	prof     ProfSource
 	stats    func(io.Writer) error
+	aux      map[string]func(io.Writer) error
 	dumps    []string
 	sizes    []int64
 }
@@ -103,6 +105,27 @@ func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p
 	r.audit = a
 	r.prof = p
 	r.stats = stats
+	r.mu.Unlock()
+}
+
+// SetAux registers (or, with a nil fn, removes) an auxiliary file written
+// into every subsequent dump and listed in its MANIFEST. The chaos harness
+// uses it to attach the recorded schedule (schedule.json) to violation
+// dumps, so a dump carries its own deterministic repro. Aux writers run
+// under the recorder mutex; keep them self-contained.
+func (r *FlightRecorder) SetAux(name string, fn func(io.Writer) error) {
+	if r == nil || name == "" {
+		return
+	}
+	r.mu.Lock()
+	if r.aux == nil {
+		r.aux = make(map[string]func(io.Writer) error)
+	}
+	if fn == nil {
+		delete(r.aux, name)
+	} else {
+		r.aux[name] = fn
+	}
 	r.mu.Unlock()
 }
 
@@ -217,6 +240,13 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		}
 	}
 
+	// Aux files are written (and listed) in sorted-name order.
+	auxNames := make([]string, 0, len(r.aux))
+	for name := range r.aux {
+		auxNames = append(auxNames, name)
+	}
+	sort.Strings(auxNames)
+
 	var written int64
 	if err := r.writeFile(dir, "MANIFEST.txt", &written, func(w io.Writer) error {
 		fmt.Fprintf(w, "reason: %s\nwall: %s\nevents-per-node: %d\nskipped-dumps: %d\nrotated-dumps: %d\n",
@@ -233,6 +263,9 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		}
 		if r.stats != nil {
 			fmt.Fprintf(w, " stats.txt")
+		}
+		for _, name := range auxNames {
+			fmt.Fprintf(w, " %s", name)
 		}
 		fmt.Fprintln(w)
 		if r.obs != nil {
@@ -319,6 +352,11 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 	}
 	if r.stats != nil {
 		if err := r.writeFile(dir, "stats.txt", &written, r.stats); err != nil {
+			return "", err
+		}
+	}
+	for _, name := range auxNames {
+		if err := r.writeFile(dir, name, &written, r.aux[name]); err != nil {
 			return "", err
 		}
 	}

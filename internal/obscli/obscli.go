@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -23,6 +24,7 @@ import (
 	"smdb/internal/obs/deps"
 	"smdb/internal/obs/prof"
 	"smdb/internal/recovery"
+	"smdb/internal/sched"
 )
 
 // Flags holds the parsed shared observability flags. Zero values mean the
@@ -44,6 +46,15 @@ type Flags struct {
 	// Not an observability surface, but shared cmd wiring all the same, and
 	// keeping it here keeps the knob's spelling identical across binaries.
 	RecoverWorkers int
+
+	// Record / Replay are the chaos schedule flags, shared here so the
+	// spelling cannot drift across binaries. Record is a directory recorded
+	// schedules are written under; Replay is one schedule file to re-execute
+	// deterministically. Only the chaos driver honours them: the other
+	// commands' drivers are seed-deterministic already and reject the flags
+	// via RejectSched.
+	Record string // -record: write recorded chaos schedules under this directory
+	Replay string // -replay: replay a recorded chaos schedule file
 }
 
 // AddFlags registers the shared observability flag set on fs (the command's
@@ -61,7 +72,51 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.Window, "window", time.Millisecond, "audit time-series window width, in simulated time")
 	fs.BoolVar(&f.Prof, "prof", false, "per-stripe lock contention and per-worker recovery cost profiling (/prof/stripes, /prof/workers, end-of-run report)")
 	fs.IntVar(&f.RecoverWorkers, "recoverworkers", 0, "parallel restart-recovery workers (0 = sequential)")
+	fs.StringVar(&f.Record, "record", "", "record chaos schedules (one JSON per seed) under this directory")
+	fs.StringVar(&f.Replay, "replay", "", "replay a recorded chaos schedule file deterministically")
 	return f
+}
+
+// SchedCheck validates the record/replay flag combination and prepares the
+// -record directory. Call after Parse, before any run.
+func (f *Flags) SchedCheck() error {
+	if f.Record != "" && f.Replay != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	if f.Record != "" {
+		if err := os.MkdirAll(f.Record, 0o755); err != nil {
+			return fmt.Errorf("-record: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadSchedule reads the -replay schedule file.
+func (f *Flags) LoadSchedule() (*sched.Schedule, error) {
+	sch, err := sched.ReadFile(f.Replay)
+	if err != nil {
+		return nil, fmt.Errorf("-replay: %w", err)
+	}
+	return sch, nil
+}
+
+// SaveSchedule writes a recording session's schedule as <name>.json under
+// the -record directory and returns the path.
+func (f *Flags) SaveSchedule(sess *sched.Session, name string) (string, error) {
+	path := filepath.Join(f.Record, name+".json")
+	if err := sess.Schedule().WriteFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// RejectSched errors out when the chaos record/replay flags reach a command
+// whose drivers are already deterministic from their seeds.
+func (f *Flags) RejectSched(cmd string) error {
+	if f.Record != "" || f.Replay != "" {
+		return fmt.Errorf("-record/-replay drive the concurrent chaos harness; use smdb-chaos (%s runs are seed-deterministic already)", cmd)
+	}
+	return nil
 }
 
 // Enabled reports whether any observability surface was requested.

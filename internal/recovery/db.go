@@ -3,6 +3,7 @@ package recovery
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +16,7 @@ import (
 	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/obs/prof"
+	"smdb/internal/sched"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -201,6 +203,13 @@ type DB struct {
 	// processing stalls until restart recovery completes. The transaction
 	// layer surfaces the stall as ErrBlocked.
 	frozen atomic.Bool
+	// recovering is set for the duration of Recover: restart recovery is
+	// the one actor allowed to install page images while the machine is
+	// frozen. Together with frozen it drives the machine install gate that
+	// keeps a worker which passed its freeze check *before* the crash from
+	// reinstalling a stale disk image over destroyed lines *after* it (the
+	// committed-value-lost race).
+	recovering atomic.Bool
 
 	mu    sync.Mutex
 	txns  map[wal.TxnID]*txnState
@@ -238,6 +247,9 @@ type DB struct {
 	// so restart recovery can report the freeze span (crash -> recovery
 	// start). Reset by Recover.
 	crashSim atomic.Int64
+	// schedp is the attached chaos schedule record/replay session (nil when
+	// disabled); see AttachSched.
+	schedp atomic.Pointer[sched.Session]
 }
 
 type committedImage struct {
@@ -292,7 +304,56 @@ func New(cfg Config) (*DB, error) {
 	// Every crash — requested or injected mid-transition — destroys the
 	// DB-layer state of the dead nodes atomically with the machine crash.
 	m.SetCrashNotify(db.noteCrash)
+	// Freeze-window install gate: between a crash and restart recovery no
+	// page image may (re)enter shared memory except at recovery's own hand.
+	// Without it, a racing transaction that passed its freeze check just
+	// before the crash can fault a partially-destroyed page back in from
+	// the stale disk image, resurrecting pre-crash values over committed
+	// ones. The gate runs with the line's stripe held, and frozen only
+	// transitions under all stripes, so the decision cannot race the crash.
+	m.SetInstallGate(func(nd machine.NodeID, l machine.LineID) error {
+		if db.frozen.Load() && !db.recovering.Load() && store.Contains(l) {
+			return machine.ErrLineLost
+		}
+		return nil
+	})
 	return db, nil
+}
+
+// AttachSched wires a chaos schedule record/replay session through the
+// layers that expose scheduling decisions: the buffer manager's Fetch entry
+// (a scheduling point — the stale-reinstall hazard window) and, when
+// recording, the machine's line-lock/install annotation hook. The
+// transaction layer reads the session via SchedPoint. Passing nil detaches
+// everywhere.
+func (db *DB) AttachSched(s *sched.Session) {
+	if s == nil {
+		db.schedp.Store(nil)
+		db.BM.SetFetchHook(nil)
+		db.M.SetSchedNote(nil)
+		return
+	}
+	db.schedp.Store(s)
+	db.BM.SetFetchHook(func(nd machine.NodeID, p storage.PageID) {
+		s.Point(int32(nd), sched.SiteFetch, int64(p))
+	})
+	if s.Recording() {
+		db.M.SetSchedNote(func(nd machine.NodeID, site string, l machine.LineID) {
+			s.Note(int32(nd), site, int64(l))
+		})
+	} else {
+		db.M.SetSchedNote(nil)
+	}
+}
+
+// Sched returns the attached schedule session (possibly nil).
+func (db *DB) Sched() *sched.Session { return db.schedp.Load() }
+
+// SchedPoint forwards a scheduling decision to the attached session. With
+// none attached (or outside an episode's armed window) it returns arg
+// unchanged at the cost of one atomic load.
+func (db *DB) SchedPoint(actor int32, site string, arg int64) int64 {
+	return db.schedp.Load().Point(actor, site, arg)
 }
 
 // AttachObserver wires the observability layer through every engine
@@ -548,10 +609,13 @@ func (db *DB) Status(t wal.TxnID) (TxnStatus, bool) {
 	return st.status, true
 }
 
-// ActiveTxns returns the active transactions, optionally filtered to a node.
+// ActiveTxns returns the active transactions, optionally filtered to a node,
+// in ascending TxnID order. The order is deterministic (not map order) so
+// callers that mutate state per transaction — like the chaos harness's
+// stranded-transaction rollback — behave identically across runs, which the
+// chaos replay machinery depends on.
 func (db *DB) ActiveTxns(node machine.NodeID) []wal.TxnID {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	var out []wal.TxnID
 	for id, st := range db.txns {
 		if st.status != TxnActive || st.crashed {
@@ -561,6 +625,8 @@ func (db *DB) ActiveTxns(node machine.NodeID) []wal.TxnID {
 			out = append(out, id)
 		}
 	}
+	db.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

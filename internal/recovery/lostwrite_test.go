@@ -1,0 +1,132 @@
+package recovery_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"smdb/internal/heap"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/wal"
+)
+
+// These tests pin the committed-value-lost undo race deterministically, with
+// no concurrency: they re-enact the exact interleaving the chaos harness
+// first caught under -race.
+//
+// The race: a survivor passes the transaction layer's freeze check, then the
+// node holding the sole (dirty, cache-only) copy of a committed value
+// crashes. The survivor's in-flight update proceeds into the buffer manager,
+// finds the page non-resident (the crash destroyed it), and re-installs the
+// STALE disk image; its update then lands with a stale before-image and a
+// fresh version number. Restart redo skips the slot (version ≥ the committed
+// record's), and the survivor's stranded-transaction rollback re-installs
+// the stale before-image — the committed value is gone.
+//
+// The fix is the machine-level install gate: while the database is frozen
+// and recovery has not begun, installing a heap line fails with ErrLineLost,
+// so the post-check survivor stalls and retries instead of resurrecting
+// stale data. Calling DB.Update directly (below) is exactly the post-check
+// state — txn.Txn.Write's freeze test has already happened by then.
+
+// loseSoleCopy seeds rid with a checkpointed value, commits val on node 1 so
+// the only copy of the committed value is dirty in node 1's cache, then
+// crashes node 1 with a survivor transaction already past Begin (and, in the
+// live race, past its freeze check) on node 0.
+func loseSoleCopy(t *testing.T, proto recovery.Protocol) (*recovery.DB, heap.RID, []byte, wal.TxnID) {
+	t.Helper()
+	rid := heap.RID{Page: 0, Slot: 0}
+	db, mgr := newDB(t, proto, 2)
+	seed(t, mgr, []heap.RID{rid}, 1)
+
+	committed := []byte{2, 2, 2}
+	tw, err := mgr.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(rid, committed); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := db.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Crash(1)
+	return db, rid, committed, id
+}
+
+// TestInstallGateBlocksFrozenReinstall: with the fix in place, the
+// post-check survivor's update fails with ErrLineLost (retryable) instead of
+// re-installing the stale disk image, and the committed value survives
+// recovery plus the survivor's rollback.
+func TestInstallGateBlocksFrozenReinstall(t *testing.T) {
+	for _, proto := range ifaProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			db, rid, committed, id := loseSoleCopy(t, proto)
+			runLostWrite(t, db, rid, committed, id, false)
+		})
+	}
+}
+
+// TestAblatedGateReproducesLostWrite: with the gate ablated (the seed
+// behavior), the same interleaving loses the committed value — the negative
+// control proving the gate is the operative fix.
+func TestAblatedGateReproducesLostWrite(t *testing.T) {
+	db, rid, committed, id := loseSoleCopy(t, recovery.VolatileSelectiveRedo)
+	db.M.SetInstallGate(nil)
+	runLostWrite(t, db, rid, committed, id, true)
+}
+
+func runLostWrite(t *testing.T, db *recovery.DB, rid heap.RID, committed []byte, id wal.TxnID, ablated bool) {
+	t.Helper()
+	err := db.Update(0, id, rid, []byte{3, 3, 3})
+	if ablated {
+		if err != nil {
+			t.Fatalf("ablated update: %v (the unguarded path used to succeed)", err)
+		}
+	} else if !errors.Is(err, machine.ErrLineLost) {
+		t.Fatalf("frozen-window update returned %v, want ErrLineLost", err)
+	}
+
+	if _, err := db.Recover([]machine.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Stranded-transaction rollback, as the chaos harness performs it.
+	if err := db.Abort(0, id); err != nil {
+		t.Fatal(err)
+	}
+
+	sd, err := db.Read(0, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := db.CheckIFA(0)
+	lost := false
+	for _, v := range violations {
+		if strings.Contains(v, "committed value lost") {
+			lost = true
+		}
+	}
+	if ablated {
+		// The negative control must still reproduce the bug; if it stops
+		// doing so, the regression test has gone stale.
+		if !lost || bytes.HasPrefix(sd.Data, committed) {
+			t.Fatalf("ablated gate no longer reproduces the lost write: value=%v violations=%v",
+				sd.Data, violations)
+		}
+		return
+	}
+	if len(violations) != 0 {
+		t.Fatalf("IFA violations with gate in place:\n%s", strings.Join(violations, "\n"))
+	}
+	// Slot payloads are zero-padded to the record size; compare the prefix.
+	if !bytes.HasPrefix(sd.Data, committed) {
+		t.Fatalf("committed value %v lost: slot holds %v", committed, sd.Data)
+	}
+}

@@ -87,6 +87,17 @@ func (p Protocol) String() string {
 	return fmt.Sprintf("Protocol(%d)", int(p))
 }
 
+// ParseProtocol maps a String() rendering back to its Protocol — the form
+// recorded in chaos schedule files.
+func ParseProtocol(s string) (Protocol, bool) {
+	for p, name := range protocolNames {
+		if name == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // Protocols lists every protocol, in presentation order.
 func Protocols() []Protocol {
 	return []Protocol{BaselineFA, VolatileRedoAll, VolatileSelectiveRedo, StableEager, StableTriggered}

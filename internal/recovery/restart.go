@@ -109,6 +109,10 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		return nil, fmt.Errorf("recovery: no surviving nodes")
 	}
 	defer db.frozen.Store(false)
+	// Restart recovery is the one actor allowed through the freeze-window
+	// install gate (see New): open it for the duration of the call.
+	db.recovering.Store(true)
+	defer db.recovering.Store(false)
 	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: mergeNodes(crashed, nil), Workers: db.parWorkers()}
 	// The profiler span covers the whole call, every early return included,
 	// so rep.Prof is the exact counter delta attributable to this recovery.

@@ -108,17 +108,55 @@ func (db *DB) Abort(nd machine.NodeID, t wal.TxnID) error {
 	if db.Cfg.Protocol.DeferredLogging() && hasWrites {
 		return fmt.Errorf("recovery: %v cannot abort under %v (no undo information was logged)", t, db.Cfg.Protocol)
 	}
+	// Aggregate the undo per slot — the earliest before image plus the set
+	// of versions this transaction wrote — exactly as crashed-transaction
+	// undo does (undoCrashed), and only install where the slot still holds
+	// one of the transaction's own versions. Under strict 2PL the version
+	// check always passes (the X lock kept everyone else out), but after a
+	// crash-and-recover episode a stranded survivor's update can have been
+	// superseded by recovery itself; blindly reinstalling its before image
+	// would then clobber a newer committed value.
+	type slotUndo struct {
+		earliest []byte
+		versions map[uint64]bool
+	}
+	undo := make(map[heap.RID]*slotUndo)
+	var order []heap.RID // reverse log order, first touch per slot
 	for lsn := db.Logs[nd].LastLSNOf(t); lsn != 0; {
 		rec, ok := db.Logs[nd].Get(lsn)
 		if !ok {
 			return fmt.Errorf("recovery: broken log chain for %v at LSN %d", t, lsn)
 		}
 		if rec.Type == wal.TypeUpdate && rec.NTA == 0 {
-			if err := db.installImage(nd, heap.RID{Page: rec.Page, Slot: rec.Slot}, rec.Before, t); err != nil {
-				return err
+			rid := heap.RID{Page: rec.Page, Slot: rec.Slot}
+			su := undo[rid]
+			if su == nil {
+				su = &slotUndo{versions: make(map[uint64]bool)}
+				undo[rid] = su
+				order = append(order, rid)
 			}
+			// Walking backward, the last record seen is the earliest: its
+			// before image is the pre-transaction value.
+			su.earliest = rec.Before
+			su.versions[rec.Version] = true
 		}
 		lsn = rec.PrevLSN
+	}
+	for _, rid := range order {
+		su := undo[rid]
+		cur, err := db.Read(nd, rid)
+		if err != nil {
+			return err
+		}
+		if !su.versions[cur.Version] {
+			// The slot no longer carries this transaction's update (it was
+			// lost with a crash, or recovery already settled the slot to a
+			// committed value): there is nothing of ours to undo.
+			continue
+		}
+		if err := db.installImage(nd, rid, su.earliest, t); err != nil {
+			return err
+		}
 	}
 	db.Logs[nd].Append(wal.Record{Type: wal.TypeAbort, Txn: t})
 	db.mu.Lock()

@@ -21,6 +21,7 @@ import (
 	"smdb/internal/machine"
 	"smdb/internal/obs"
 	"smdb/internal/recovery"
+	"smdb/internal/sched"
 	"smdb/internal/wal"
 )
 
@@ -76,6 +77,10 @@ func (t *Txn) check() error {
 	if t.done {
 		return ErrDone
 	}
+	// Chaos scheduling point: every operation's liveness/freeze observation
+	// is a recorded decision, so a replay re-executes it at exactly the
+	// recorded place in the global interleaving. No-op without a session.
+	t.mgr.DB.SchedPoint(int32(t.node), sched.SiteCheck, 0)
 	if !t.mgr.DB.M.Alive(t.node) {
 		return machine.ErrNodeDown
 	}

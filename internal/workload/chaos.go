@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/recovery"
+	"smdb/internal/sched"
 )
 
 // RunChaos drives seeded crash/recover episodes: each episode runs the
@@ -82,6 +84,11 @@ func chaosDownNodes(db *recovery.DB) []machine.NodeID {
 	return out
 }
 
+// ErrScheduleDiverged reports that a replayed chaos run's control flow left
+// the recorded schedule (typical for shrink candidates whose dropped
+// decisions change the interleaving). The run's results are meaningless.
+var ErrScheduleDiverged = fmt.Errorf("workload: chaos replay diverged from recorded schedule")
+
 // RunChaos seeds the database, then runs `episodes` crash/recover episodes
 // of spec under the injector's fault schedule. It returns the aggregate
 // result; the error is non-nil only for harness failures (a wedged episode
@@ -89,9 +96,60 @@ func chaosDownNodes(db *recovery.DB) []machine.NodeID {
 // reported in the result so callers (and the -broken negative control) can
 // assert either way.
 func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (ChaosResult, error) {
+	return RunChaosSession(db, inj, spec, episodes, nil)
+}
+
+// RunChaosSession is RunChaos under an optional schedule session: a
+// recording session captures every nondeterministic decision of the run
+// into a sched.Schedule; a replaying session re-executes a recorded one
+// deterministically (episodes then comes from the schedule, and the
+// episode count argument is ignored). A nil session is plain RunChaos.
+func RunChaosSession(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int, sess *sched.Session) (ChaosResult, error) {
 	res := ChaosResult{Seed: inj.Plan().Seed}
+	if sess != nil && db.Cfg.RecoveryWorkers > 1 {
+		// Parallel recovery assigns versions in worker order; a schedule
+		// recorded (or replayed) over it could never reproduce.
+		return res, fmt.Errorf("workload: chaos record/replay requires sequential recovery (RecoveryWorkers <= 1, have %d)", db.Cfg.RecoveryWorkers)
+	}
+	if sess.Replaying() {
+		episodes = sess.EpisodePoints()
+	}
 	if err := Seed(db, spec.HeapPages); err != nil {
 		return res, fmt.Errorf("workload: chaos seeding: %w", err)
+	}
+	if sess != nil {
+		sess.SetRunInfo(spec.Seed, inj.Plan().Seed, db.Cfg.Protocol.String(), db.M.Nodes())
+		ds := spec
+		ds.setDefaults()
+		plan := inj.Plan()
+		sess.SetSpec(sched.RunSpec{
+			TxnsPerNode:     ds.TxnsPerNode,
+			OpsPerTxn:       ds.OpsPerTxn,
+			ReadFraction:    ds.ReadFraction,
+			SharingFraction: ds.SharingFraction,
+			HotSpot:         ds.HotSpot,
+			HotProb:         ds.HotProb,
+			AbortFraction:   ds.AbortFraction,
+			HeapPages:       ds.HeapPages,
+			MaxCrashes:      plan.MaxCrashes,
+			MinAlive:        plan.MinAlive,
+			IOErrorBurst:    plan.IOErrorBurst,
+			PIOError:        plan.PIOError,
+		})
+		db.AttachSched(sess)
+		defer db.AttachSched(nil)
+		inj.SetSched(sess)
+		defer inj.SetSched(nil)
+		defer sess.Disarm()
+		// Every flight dump taken during this run (IFA violations above all)
+		// carries the schedule as recorded so far — including the failing
+		// episode's index and derived seed — so the dump is its own repro.
+		if fr := db.FlightRecorder(); fr != nil {
+			fr.SetAux("schedule.json", func(w io.Writer) error {
+				return sess.Schedule().WriteJSON(w)
+			})
+			defer fr.SetAux("schedule.json", nil)
+		}
 	}
 	db.AttachFaults(inj)
 	defer db.AttachFaults(nil)
@@ -100,11 +158,20 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 	prevAuditViol := 0
 	for ep := 0; ep < episodes; ep++ {
 		res.Episodes++
+		// Episodes carry their ORIGINAL index (and thus their derived seed)
+		// through the schedule, so a shrunk schedule that drops episodes
+		// still replays the survivors with the right per-episode seeds.
+		epOrig := ep
 		epSpec := spec
-		epSpec.Seed = spec.Seed + int64(ep)*9973
-		runner := NewRunner(db, epSpec)
 		inj.ResetEpisode()
 		inj.Arm()
+		if sess != nil {
+			sess.Arm()
+			epOrig = sess.BeginEpisode(ep, spec.Seed+int64(ep)*9973)
+		}
+		epSpec.Seed = spec.Seed + int64(epOrig)*9973
+		runner := NewRunner(db, epSpec)
+		runner.Sched = sess
 
 		type runOut struct {
 			res Result
@@ -118,29 +185,42 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 		}()
 
 		// Wait for a fault to freeze the system, or for the workload to
-		// drain without one.
+		// drain without one. A replay needs no polling: the workers' stop
+		// observations come from the schedule, so they terminate on their
+		// own at exactly the recorded steps.
 		var ro runOut
-		got := false
-		deadline := time.Now().Add(60 * time.Second)
-		for !got && !db.Frozen() {
-			select {
-			case ro = <-out:
-				got = true
-			case <-time.After(200 * time.Microsecond):
-				if time.Now().After(deadline) {
-					close(stop)
-					return res, fmt.Errorf("workload: chaos episode %d wedged (no crash, no completion)", ep)
+		if sess.Replaying() {
+			ro = <-out
+			close(stop)
+		} else {
+			got := false
+			deadline := time.Now().Add(60 * time.Second)
+			for !got && !db.Frozen() {
+				select {
+				case ro = <-out:
+					got = true
+				case <-time.After(200 * time.Microsecond):
+					if time.Now().After(deadline) {
+						close(stop)
+						return res, fmt.Errorf("workload: chaos episode %d (seed %d) wedged (no crash, no completion)", epOrig, epSpec.Seed)
+					}
 				}
 			}
+			close(stop)
+			if !got {
+				ro = <-out
+			}
 		}
-		close(stop)
-		if !got {
-			ro = <-out
+		// The workers are gone; the harness phase (recovery, rollback,
+		// checking) below must run unscheduled.
+		sess.Disarm()
+		if d, msg := sess.Diverged(); d {
+			return res, fmt.Errorf("%w: %s", ErrScheduleDiverged, msg)
 		}
 		if ro.err != nil && !db.Cfg.Protocol.DeferredLogging() {
 			// The deferred-logging negative control legitimately fails
 			// mid-workload (it cannot abort); real protocols must not.
-			return res, fmt.Errorf("workload: chaos episode %d: %w", ep, ro.err)
+			return res, fmt.Errorf("workload: chaos episode %d (seed %d): %w", epOrig, epSpec.Seed, ro.err)
 		}
 		res.Committed += ro.res.Committed
 		res.Aborted += ro.res.Aborted
@@ -161,7 +241,7 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 		down := chaosDownNodes(db)
 		rep, err := db.Recover(down)
 		if err != nil {
-			return res, fmt.Errorf("workload: chaos episode %d recovery: %w", ep, err)
+			return res, fmt.Errorf("workload: chaos episode %d (seed %d) recovery: %w", epOrig, epSpec.Seed, err)
 		}
 		res.RecoveryAttempts += rep.Attempts
 		res.CoordinatorFailovers += rep.CoordinatorFailovers
@@ -183,7 +263,7 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 				continue
 			}
 			if err := db.Abort(nd, t); err != nil && !db.Cfg.Protocol.DeferredLogging() {
-				return res, fmt.Errorf("workload: chaos episode %d rollback of stranded %v: %w", ep, t, err)
+				return res, fmt.Errorf("workload: chaos episode %d (seed %d) rollback of stranded %v: %w", epOrig, epSpec.Seed, t, err)
 			}
 			for _, name := range db.HeldLocks(t) {
 				_ = db.Locks.Release(nd, t, name)
@@ -193,18 +273,22 @@ func RunChaos(db *recovery.DB, inj *fault.Injector, spec Spec, episodes int) (Ch
 		coord := db.M.AliveNodes()[0]
 		epViolations := db.CheckIFA(coord)
 		for _, v := range epViolations {
-			res.Violations = append(res.Violations, fmt.Sprintf("episode %d: %s", ep, v))
+			res.Violations = append(res.Violations, fmt.Sprintf("episode %d: %s", epOrig, v))
 		}
-		crossCheckExplainer(db, rep, epViolations, ep, &res)
-		prevAuditViol = crossCheckAuditor(db, epViolations, ep, prevAuditViol, &res)
+		crossCheckExplainer(db, rep, epViolations, epOrig, &res)
+		prevAuditViol = crossCheckAuditor(db, epViolations, epOrig, prevAuditViol, &res)
 		if len(epViolations) > 0 {
+			// Stamp the failing episode (and its derived seed) into the
+			// schedule being recorded, so the violation dump below — and the
+			// schedule file itself — carries its own repro coordinates.
+			sess.NoteFailure(epOrig, epSpec.Seed)
 			// A checker violation is exactly what the flight recorder exists
 			// for: preserve the evidence before the episode state is reset.
-			_, _ = db.DumpFlight(fmt.Sprintf("ifa-violation-ep%d", ep))
+			_, _ = db.DumpFlight(fmt.Sprintf("ifa-violation-ep%d", epOrig))
 		}
 		for _, n := range chaosDownNodes(db) {
 			if err := db.RestartNode(n); err != nil {
-				return res, fmt.Errorf("workload: chaos episode %d restart of node %d: %w", ep, n, err)
+				return res, fmt.Errorf("workload: chaos episode %d (seed %d) restart of node %d: %w", epOrig, epSpec.Seed, n, err)
 			}
 		}
 	}

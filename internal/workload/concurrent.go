@@ -10,6 +10,7 @@ import (
 
 	"smdb/internal/heap"
 	"smdb/internal/machine"
+	"smdb/internal/sched"
 	"smdb/internal/txn"
 )
 
@@ -30,12 +31,33 @@ func (r *Runner) RunConcurrent(stop <-chan struct{}) (Result, error) {
 		wg       sync.WaitGroup
 		opCount  atomic.Int64
 	)
-	stopNow := func() bool {
+	rawStop := func() bool {
 		select {
 		case <-stop:
 			return true
 		default:
 			return false
+		}
+	}
+	// With a schedule session attached, every stop observation is a
+	// scheduling point: recording captures the outcome each worker actually
+	// saw (and where in the interleaving it saw it); replay feeds the
+	// recorded outcome back instead of consulting the channel, so a
+	// replayed worker stops at exactly the recorded step.
+	stopFor := func(nd machine.NodeID) func() bool {
+		if r.Sched == nil {
+			return rawStop
+		}
+		actor := int32(nd)
+		if r.Sched.Replaying() {
+			return func() bool { return r.Sched.Point(actor, sched.SiteStop, 0) != 0 }
+		}
+		return func() bool {
+			var v int64
+			if rawStop() {
+				v = 1
+			}
+			return r.Sched.Point(actor, sched.SiteStop, v) != 0
 		}
 	}
 	start := r.DB.M.MaxClock()
@@ -44,7 +66,12 @@ func (r *Runner) RunConcurrent(stop <-chan struct{}) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local, err := r.runWorker(nd, stopNow, &opCount)
+			if r.Sched != nil {
+				// Release the scheduler floor at every exit path, so the
+				// next scheduled worker can run.
+				defer r.Sched.Exit(int32(nd))
+			}
+			local, err := r.runWorker(nd, stopFor(nd), &opCount)
 			mu.Lock()
 			defer mu.Unlock()
 			res.Committed += local.Committed

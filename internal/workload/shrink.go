@@ -1,0 +1,374 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"smdb/internal/fault"
+	"smdb/internal/recovery"
+	"smdb/internal/sched"
+)
+
+// The schedule shrinker: delta-debugging over a recorded failing chaos
+// schedule. Candidates drop whole episodes, truncate workers at earlier stop
+// observations, and remove fault-injector draws; a candidate is kept only if
+// its replay still produces an IFA violation. Candidates whose control flow
+// no longer matches their edited schedule diverge and are simply rejected —
+// divergence is the shrinker's rollback mechanism, not an error.
+
+// ShrinkEnv supplies the shrinker with fresh replay environments. Every
+// candidate test needs a pristine database and injector, because a chaos run
+// mutates both.
+type ShrinkEnv struct {
+	// NewDB builds a fresh database configured exactly like the one the
+	// schedule was recorded against (protocol, nodes, sequential recovery).
+	NewDB func() (*recovery.DB, error)
+	// NewInjector builds a fresh injector with the recorded plan. Its PRNG is
+	// never consulted during replay (draws come from the schedule), but the
+	// plan's MaxCrashes budget still applies.
+	NewInjector func() *fault.Injector
+	// Spec is the workload spec of the recorded run; Seed is overridden from
+	// the schedule.
+	Spec Spec
+	// Watchdog overrides the replay divergence timeout for candidate tests
+	// (shrink candidates diverge routinely; a short watchdog keeps the loop
+	// fast). Zero keeps sched.DefaultWatchdog.
+	Watchdog time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// ShrinkReport summarizes one Shrink call.
+type ShrinkReport struct {
+	// Tests counts candidate replays executed; Rejected how many of those
+	// diverged or no longer failed.
+	Tests, Rejected int
+	// Before/After report the schedule size at each end.
+	BeforePoints, AfterPoints     int
+	BeforeEpisodes, AfterEpisodes int
+	BeforeDraws, AfterDraws       int
+}
+
+func (r ShrinkReport) String() string {
+	return fmt.Sprintf("shrink: %d candidate runs (%d rejected); episodes %d -> %d, points %d -> %d, draws %d -> %d",
+		r.Tests, r.Rejected, r.BeforeEpisodes, r.AfterEpisodes,
+		r.BeforePoints, r.AfterPoints, r.BeforeDraws, r.AfterDraws)
+}
+
+func (e *ShrinkEnv) logf(format string, args ...any) {
+	if e.Log != nil {
+		e.Log(format, args...)
+	}
+}
+
+// fails replays a candidate schedule on a fresh environment and reports
+// whether it still produces an IFA violation. Harness errors and divergence
+// both reject the candidate.
+//
+// The replay runs under a hard deadline, not just the session watchdog: a
+// truncation candidate can retire a worker that held a 2PL lock, leaving
+// the next scheduled worker parked in the lock manager's condition variable
+// — an engine-level wait the scheduling watchdog cannot see. Such a
+// candidate is rejected at the deadline and its goroutine abandoned (it
+// holds only its own candidate database).
+func (e *ShrinkEnv) fails(sch *sched.Schedule, rep *ShrinkReport) bool {
+	rep.Tests++
+	db, err := e.NewDB()
+	if err != nil {
+		rep.Rejected++
+		return false
+	}
+	sess := sched.NewReplayer(sch)
+	if e.Watchdog > 0 {
+		sess.SetWatchdog(e.Watchdog)
+	}
+	spec := e.Spec
+	spec.Seed = sch.Seed
+	deadline := 4*e.Watchdog + 2*time.Second
+	if e.Watchdog <= 0 {
+		deadline = 4*sched.DefaultWatchdog + 2*time.Second
+	}
+	out := make(chan bool, 1)
+	go func() {
+		res, err := RunChaosSession(db, e.NewInjector(), spec, 0, sess)
+		out <- err == nil && len(res.Violations) > 0
+	}()
+	select {
+	case ok := <-out:
+		if !ok {
+			rep.Rejected++
+		}
+		return ok
+	case <-time.After(deadline):
+		rep.Rejected++
+		return false
+	}
+}
+
+// episodeBlocks splits the point list into per-episode half-open ranges
+// [start, end), one per SiteEpisode marker, marker included.
+func episodeBlocks(sch *sched.Schedule) [][2]int {
+	var blocks [][2]int
+	for i, p := range sch.Points {
+		if p.Actor == sched.HarnessActor && p.Site == sched.SiteEpisode {
+			if n := len(blocks); n > 0 {
+				blocks[n-1][1] = i
+			}
+			blocks = append(blocks, [2]int{i, len(sch.Points)})
+		}
+	}
+	return blocks
+}
+
+// keepEpisodes rebuilds the schedule with only the marked episode blocks.
+func keepEpisodes(sch *sched.Schedule, keep []bool) *sched.Schedule {
+	blocks := episodeBlocks(sch)
+	out := *sch
+	out.Points = nil
+	out.Episodes = nil
+	out.EpisodeSeeds = nil
+	out.Notes = nil // positions no longer meaningful after surgery
+	for i, b := range blocks {
+		if !keep[i] {
+			continue
+		}
+		out.Points = append(out.Points, sch.Points[b[0]:b[1]]...)
+		if i < len(sch.Episodes) {
+			out.Episodes = append(out.Episodes, sch.Episodes[i])
+		}
+		if i < len(sch.EpisodeSeeds) {
+			out.EpisodeSeeds = append(out.EpisodeSeeds, sch.EpisodeSeeds[i])
+		}
+	}
+	out.Draws = append([]sched.Draw(nil), sch.Draws...)
+	return &out
+}
+
+// keepDraws rebuilds the schedule with only the marked draws.
+func keepDraws(sch *sched.Schedule, keep []bool) *sched.Schedule {
+	out := *sch
+	out.Draws = nil
+	for i, d := range sch.Draws {
+		if keep[i] {
+			out.Draws = append(out.Draws, d)
+		}
+	}
+	return &out
+}
+
+// ddmin is classic delta debugging over n items: it greedily removes chunks
+// (halving granularity as removals stop working) while test keeps passing,
+// and returns the kept-item mask. test(keep) must report whether the
+// configuration still exhibits the failure.
+func ddmin(n int, test func(keep []bool) bool) []bool {
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	if n <= 1 {
+		return keep
+	}
+	granularity := 2
+	for {
+		kept := indicesOf(keep)
+		if len(kept) <= 1 {
+			return keep
+		}
+		// Clamp instead of bailing when the doubling overshoots: the final
+		// granularity == len(kept) pass is the chunk-size-1 sweep that makes
+		// the result 1-minimal per chunk.
+		if granularity > len(kept) {
+			granularity = len(kept)
+		}
+		chunk := (len(kept) + granularity - 1) / granularity
+		removed := false
+		for lo := 0; lo < len(kept); lo += chunk {
+			hi := lo + chunk
+			if hi > len(kept) {
+				hi = len(kept)
+			}
+			cand := append([]bool(nil), keep...)
+			for _, idx := range kept[lo:hi] {
+				cand[idx] = false
+			}
+			if test(cand) {
+				copy(keep, cand)
+				removed = true
+				break
+			}
+		}
+		switch {
+		case removed:
+			granularity = 2
+		case granularity >= len(kept):
+			return keep
+		default:
+			granularity *= 2
+		}
+	}
+}
+
+// suffixTrimMask keeps, for every draw key, only the prefix of its FIFO up
+// to and including the last fired draw.
+func suffixTrimMask(sch *sched.Schedule) []bool {
+	lastFired := map[string]int{}
+	for i, d := range sch.Draws {
+		if d.Fire {
+			lastFired[d.Key] = i
+		}
+	}
+	keep := make([]bool, len(sch.Draws))
+	for i, d := range sch.Draws {
+		last, ok := lastFired[d.Key]
+		keep[i] = ok && i <= last
+	}
+	return keep
+}
+
+// firedMask keeps only the draws that fired.
+func firedMask(sch *sched.Schedule) []bool {
+	keep := make([]bool, len(sch.Draws))
+	for i, d := range sch.Draws {
+		keep[i] = d.Fire
+	}
+	return keep
+}
+
+func indicesOf(keep []bool) []int {
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// truncateActor builds a candidate where the actor's point at index p (a
+// stop observation inside block [lo,hi)) answers "stop now" and all of the
+// actor's later points in that block are removed — the worker retires early.
+func truncateActor(sch *sched.Schedule, actor int32, p, hi int) *sched.Schedule {
+	out := *sch
+	out.Points = make([]sched.Point, 0, len(sch.Points))
+	for i, pt := range sch.Points {
+		if i == p {
+			pt.Arg = 1
+			out.Points = append(out.Points, pt)
+			continue
+		}
+		if i > p && i < hi && pt.Actor == actor {
+			continue
+		}
+		out.Points = append(out.Points, pt)
+	}
+	out.Notes = nil
+	return &out
+}
+
+// Shrink minimizes a failing schedule: (1) ddmin over whole episodes, (2)
+// per-actor stop truncation inside the surviving episodes, (3) ddmin over
+// injector draws. The input must fail (replay to at least one IFA
+// violation); Shrink returns an error otherwise. The returned schedule is
+// the smallest failing candidate found.
+func Shrink(env ShrinkEnv, sch *sched.Schedule) (*sched.Schedule, ShrinkReport, error) {
+	var rep ShrinkReport
+	rep.BeforePoints = len(sch.Points)
+	rep.BeforeEpisodes = len(episodeBlocks(sch))
+	rep.BeforeDraws = len(sch.Draws)
+
+	if !env.fails(sch, &rep) {
+		return nil, rep, fmt.Errorf("workload: shrink input does not reproduce a violation (or diverged)")
+	}
+
+	// Phase 1: whole episodes. The failing episode's derived seed travels
+	// with its marker (episodes carry their ORIGINAL index), so candidates
+	// that drop predecessors replay the survivors with the right seeds.
+	cur := sch
+	if blocks := episodeBlocks(cur); len(blocks) > 1 {
+		keep := ddmin(len(blocks), func(keep []bool) bool {
+			any := false
+			for _, k := range keep {
+				any = any || k
+			}
+			if !any {
+				return false
+			}
+			return env.fails(keepEpisodes(cur, keep), &rep)
+		})
+		cur = keepEpisodes(cur, keep)
+		env.logf("shrink: episodes %d -> %d", len(blocks), len(episodeBlocks(cur)))
+	}
+
+	// Phase 2: stop truncation. For every actor in every surviving episode,
+	// retire the worker at its earliest stop observation that still fails.
+	for {
+		improved := false
+		blocks := episodeBlocks(cur)
+		for _, b := range blocks {
+			actors := map[int32]bool{}
+			for i := b[0]; i < b[1]; i++ {
+				actors[cur.Points[i].Actor] = true
+			}
+			for actor := range actors {
+				if actor == sched.HarnessActor {
+					continue
+				}
+				for i := b[0]; i < b[1]; i++ {
+					pt := cur.Points[i]
+					if pt.Actor != actor || pt.Site != sched.SiteStop || pt.Arg != 0 {
+						continue
+					}
+					cand := truncateActor(cur, actor, i, b[1])
+					if len(cand.Points) < len(cur.Points) && env.fails(cand, &rep) {
+						cur = cand
+						improved = true
+					}
+					break // only the earliest live stop per actor per pass
+				}
+				if improved {
+					break // block indices are stale; restart the scan
+				}
+			}
+			if improved {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	env.logf("shrink: points %d -> %d after stop truncation", rep.BeforePoints, len(cur.Points))
+
+	// Phase 3: injector draws, cheapest reductions first. (a) Per-key no-fire
+	// suffixes are always removable — an exhausted key replays as a quiet
+	// no-fire, so dropping a FIFO's tail after its last fired draw cannot
+	// change any replayed outcome; one candidate validates the whole trim.
+	// (b) Keeping only the fired draws is NOT semantics-preserving (removing
+	// a no-fire entry shifts its key's later draws earlier), but when the
+	// interleaving tolerates it, one test eliminates nearly everything.
+	// (c) ddmin mops up whatever survives.
+	if cand := keepDraws(cur, suffixTrimMask(cur)); len(cand.Draws) < len(cur.Draws) && env.fails(cand, &rep) {
+		cur = cand
+		env.logf("shrink: draws %d -> %d after no-fire suffix trim", rep.BeforeDraws, len(cur.Draws))
+	}
+	if cand := keepDraws(cur, firedMask(cur)); len(cand.Draws) < len(cur.Draws) && env.fails(cand, &rep) {
+		cur = cand
+		env.logf("shrink: draws -> %d keeping only fired", len(cur.Draws))
+	}
+	if len(cur.Draws) > 0 {
+		keep := ddmin(len(cur.Draws), func(keep []bool) bool {
+			return env.fails(keepDraws(cur, keep), &rep)
+		})
+		cur = keepDraws(cur, keep)
+	}
+	env.logf("shrink: draws %d -> %d", rep.BeforeDraws, len(cur.Draws))
+
+	// The minimized schedule must still fail (paranoia: phase order effects).
+	if !env.fails(cur, &rep) {
+		return nil, rep, fmt.Errorf("workload: shrink result stopped failing (shrinker bug)")
+	}
+	rep.AfterPoints = len(cur.Points)
+	rep.AfterEpisodes = len(episodeBlocks(cur))
+	rep.AfterDraws = len(cur.Draws)
+	return cur, rep, nil
+}

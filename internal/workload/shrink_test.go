@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"smdb/internal/fault"
+	"smdb/internal/machine"
+	"smdb/internal/recovery"
+	"smdb/internal/sched"
+)
+
+// TestDDMin pins the delta-debugging kernel: failure requires items 3 and 7
+// together, and ddmin must find exactly that pair.
+func TestDDMin(t *testing.T) {
+	test := func(keep []bool) bool { return keep[3] && keep[7] }
+	keep := ddmin(10, test)
+	want := make([]bool, 10)
+	want[3], want[7] = true, true
+	if !reflect.DeepEqual(keep, want) {
+		t.Fatalf("ddmin kept %v, want only items 3 and 7", indicesOf(keep))
+	}
+}
+
+// TestDDMinKeepsAllWhenNothingRemovable: a failure needing every item must
+// come back intact.
+func TestDDMinKeepsAllWhenNothingRemovable(t *testing.T) {
+	test := func(keep []bool) bool {
+		for _, k := range keep {
+			if !k {
+				return false
+			}
+		}
+		return true
+	}
+	for _, k := range ddmin(6, test) {
+		if !k {
+			t.Fatal("ddmin dropped a required item")
+		}
+	}
+}
+
+// TestSuffixTrimMask: per-key FIFOs keep their prefix through the last fired
+// draw; all-quiet keys vanish entirely.
+func TestSuffixTrimMask(t *testing.T) {
+	sch := &sched.Schedule{Draws: []sched.Draw{
+		{Key: "a"},             // 0: kept (before a's fired draw)
+		{Key: "b"},             // 1: dropped (b never fires)
+		{Key: "a", Fire: true}, // 2: kept (a's last fired)
+		{Key: "a"},             // 3: dropped (a's no-fire tail)
+		{Key: "c", Fire: true}, // 4: kept
+		{Key: "b"},             // 5: dropped
+	}}
+	got := suffixTrimMask(sch)
+	want := []bool{true, false, true, false, true, false}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("suffixTrimMask = %v, want %v", got, want)
+	}
+}
+
+// TestEpisodeBlocksAndKeep: block boundaries at episode markers, and
+// keepEpisodes preserving surviving blocks' points, indices, and seeds.
+func TestEpisodeBlocksAndKeep(t *testing.T) {
+	sch := &sched.Schedule{
+		Points: []sched.Point{
+			{Actor: sched.HarnessActor, Site: sched.SiteEpisode, Arg: 0},
+			{Actor: 0, Site: sched.SiteCheck},
+			{Actor: 1, Site: sched.SiteStop},
+			{Actor: sched.HarnessActor, Site: sched.SiteEpisode, Arg: 1},
+			{Actor: 1, Site: sched.SiteCheck},
+		},
+		Episodes:     []int{0, 1},
+		EpisodeSeeds: []int64{100, 200},
+	}
+	blocks := episodeBlocks(sch)
+	if want := [][2]int{{0, 3}, {3, 5}}; !reflect.DeepEqual(blocks, want) {
+		t.Fatalf("episodeBlocks = %v, want %v", blocks, want)
+	}
+	out := keepEpisodes(sch, []bool{false, true})
+	if len(out.Points) != 2 || out.Points[0].Arg != 1 {
+		t.Fatalf("keepEpisodes kept wrong points: %+v", out.Points)
+	}
+	if !reflect.DeepEqual(out.Episodes, []int{1}) || !reflect.DeepEqual(out.EpisodeSeeds, []int64{200}) {
+		t.Fatalf("keepEpisodes kept episodes %v seeds %v", out.Episodes, out.EpisodeSeeds)
+	}
+}
+
+// TestTruncateActor: the chosen stop answers "stop now" and the actor's
+// later points inside the block are gone; other actors are untouched.
+func TestTruncateActor(t *testing.T) {
+	sch := &sched.Schedule{Points: []sched.Point{
+		{Actor: 0, Site: sched.SiteStop, Arg: 0},  // 0: becomes Arg=1
+		{Actor: 1, Site: sched.SiteCheck},         // 1: kept
+		{Actor: 0, Site: sched.SiteCheck},         // 2: dropped (actor 0, later)
+		{Actor: 0, Site: sched.SiteFetch, Arg: 7}, // 3: dropped
+		{Actor: 1, Site: sched.SiteStop, Arg: 0},  // 4: kept
+	}}
+	out := truncateActor(sch, 0, 0, len(sch.Points))
+	want := []sched.Point{
+		{Actor: 0, Site: sched.SiteStop, Arg: 1},
+		{Actor: 1, Site: sched.SiteCheck},
+		{Actor: 1, Site: sched.SiteStop, Arg: 0},
+	}
+	if !reflect.DeepEqual(out.Points, want) {
+		t.Fatalf("truncateActor = %+v, want %+v", out.Points, want)
+	}
+}
+
+// TestShrinkRejectsCleanInput: Shrink must refuse a schedule whose replay
+// does not violate IFA, rather than "minimizing" a passing run.
+func TestShrinkRejectsCleanInput(t *testing.T) {
+	proto := recovery.VolatileSelectiveRedo
+	_, schedule, _ := recordRun(t, proto, 11, 1)
+	env := ShrinkEnv{
+		NewDB: func() (*recovery.DB, error) {
+			return recovery.New(recovery.Config{
+				Machine:        machine.Config{Nodes: 4, Lines: 4096},
+				Protocol:       proto,
+				LinesPerPage:   4,
+				RecsPerLine:    4,
+				Pages:          16,
+				LockTableLines: 128,
+			})
+		},
+		NewInjector: func() *fault.Injector { return fault.New(chaosPlan(schedule.FaultSeed)) },
+		Spec:        chaosSpec(schedule.Seed),
+	}
+	if _, _, err := Shrink(env, schedule); err == nil {
+		t.Fatal("Shrink accepted a clean (non-failing) schedule")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/machine"
 	"smdb/internal/recovery"
+	"smdb/internal/sched"
 	"smdb/internal/storage"
 	"smdb/internal/txn"
 )
@@ -136,6 +137,11 @@ type Runner struct {
 	DB   *recovery.DB
 	Mgr  *txn.Manager
 	Spec Spec
+	// Sched, when non-nil, records or replays the concurrent driver's
+	// scheduling decisions (stop observations, and — through the DB's
+	// attached session — every operation's check and fetch points). Set by
+	// the chaos harness; nil for plain runs.
+	Sched *sched.Session
 
 	sp  space
 	rng *rand.Rand

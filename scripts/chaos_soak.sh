@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Chaos soak: the interleaving-sensitivity gate. Two halves:
+#
+#   1. Repeat the workload package's -race suite SOAK_COUNT times (default
+#      10). This is the surface the original lost-write flake lived on —
+#      at the v0 seed it failed ~1 run in 5, so ten clean repetitions is a
+#      meaningful (if not airtight) regression bar.
+#   2. Run a recorded smdb-chaos sweep (-record): every seed's run captures
+#      its schedule, and any seed that violates IFA writes the failing
+#      schedule to the record directory — a deterministic repro an engineer
+#      (or CI artifact upload) can replay with `smdb-chaos -replay` and
+#      minimize with `smdb-chaos -shrink`.
+#
+# Usage:
+#
+#   scripts/chaos_soak.sh [record-dir]
+#
+# Knobs (environment): SOAK_COUNT (-count for the race soak, default 10),
+# SOAK_SEEDS (sweep width, default 25), SOAK_EPISODES (episodes per seed,
+# default 3). Exits non-zero if either half fails; failing schedules, if
+# any, are left under record-dir (default ./chaos-schedules) for upload.
+set -eu
+
+dir="${1:-chaos-schedules}"
+count="${SOAK_COUNT:-10}"
+seeds="${SOAK_SEEDS:-25}"
+episodes="${SOAK_EPISODES:-3}"
+cd "$(dirname "$0")/.."
+
+echo "== chaos soak: go test -race -count=$count ./internal/workload/"
+go test -race -count="$count" ./internal/workload/
+
+echo "== chaos soak: recorded sweep ($seeds seeds x $episodes episodes)"
+mkdir -p "$dir"
+go run ./cmd/smdb-chaos -seeds "$seeds" -episodes "$episodes" -record "$dir"
+
+# A clean sweep records nothing; say so explicitly for the CI log.
+if [ -z "$(ls "$dir" 2>/dev/null)" ]; then
+	echo "== chaos soak: clean (no failing schedules recorded)"
+fi
