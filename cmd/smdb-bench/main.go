@@ -222,6 +222,14 @@ var experiments = []experiment{
 			}
 			return res.Report(), nil
 		}},
+	{"waterfall", "E22", "per-transaction latency waterfalls: causal attribution coverage, tail samples, and recorder overhead", "this implementation's observability layer; sections 5-6 (where each transaction's time went)",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunWaterfall(seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
 }
 
 func expNames() []string {

@@ -23,6 +23,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -75,6 +76,7 @@ type Manager struct {
 	updTable map[storage.PageID]map[machine.NodeID]wal.LSN
 	stats    Stats
 	obs      *obs.Observer
+	wf       *waterfall.Recorder
 	// fetchHook, when non-nil, is called at every Fetch entry with no
 	// manager state held. The chaos schedule recorder uses it as a
 	// scheduling point: a fetch is where a crash-lost page is faulted back
@@ -104,6 +106,22 @@ func (b *Manager) observer() *obs.Observer {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.obs
+}
+
+// SetWaterfall attaches (or, with nil, detaches) the waterfall recorder;
+// disk-read waits during Fetch are attributed to the requesting node's
+// current transaction.
+func (b *Manager) SetWaterfall(w *waterfall.Recorder) {
+	b.mu.Lock()
+	b.wf = w
+	b.mu.Unlock()
+}
+
+// waterfall returns the attached recorder (possibly nil).
+func (b *Manager) waterfall() *waterfall.Recorder {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.wf
 }
 
 // NewManager creates a buffer manager over the given store, disk, and
@@ -153,12 +171,16 @@ func (b *Manager) Fetch(nd machine.NodeID, p storage.PageID) error {
 	if err != nil {
 		return err
 	}
-	b.Store.M.AdvanceClock(nd, b.Store.M.Config().Cost.DiskRead)
+	cost := b.Store.M.Config().Cost.DiskRead
+	b.Store.M.AdvanceClock(nd, cost)
 	b.mu.Lock()
 	b.stats.DiskFetches++
 	b.mu.Unlock()
 	if o := b.observer(); o != nil {
 		o.Instant(obs.KindPageFetch, int32(nd), b.Store.M.Clock(nd), int64(p), 1)
+	}
+	if wf := b.waterfall(); wf != nil {
+		wf.NoteFetch(int32(nd), int(p), b.Store.M.Clock(nd), cost)
 	}
 	return b.Store.InstallImage(nd, p, img[:b.Store.Layout.PageBytes()], true)
 }

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"smdb/internal/recovery"
+)
+
+// TestRunWaterfall runs E22 end-to-end: every real protocol must clear the
+// attribution-coverage gate (RunWaterfall fails below waterfallMinCoverage),
+// complete waterfalls, retain tail samples, and record recovery phases.
+func TestRunWaterfall(t *testing.T) {
+	res, err := RunWaterfall(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Points), len(recovery.Protocols()); got != want {
+		t.Fatalf("census has %d points, want %d", got, want)
+	}
+	for _, p := range res.Points {
+		if p.Coverage < waterfallMinCoverage {
+			t.Errorf("%v: coverage %.3f below gate %.2f", p.Protocol, p.Coverage, waterfallMinCoverage)
+		}
+		if p.Convoyed == 0 {
+			t.Errorf("%v: no slow sample carries a line-wait holder (convoy explanation missing)", p.Protocol)
+		}
+	}
+	if len(res.Overhead) != 2 {
+		t.Fatalf("overhead sweep has %d arms, want 2", len(res.Overhead))
+	}
+	table := res.Table()
+	for _, want := range []string{"protocol", "coverage", "convoyed", "ns/update"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -63,7 +63,7 @@ func (m *Machine) readLocked(nd NodeID, l LineID, off, n int) ([]byte, []NodeID,
 		if ln.excl != NoNode && ln.excl != nd {
 			// H_wr: the exclusive holder is downgraded to shared.
 			from := ln.excl
-			if err := m.fire(l, EventDowngrade, ln.excl, nd, nd); err != nil {
+			if _, err := m.fire(l, EventDowngrade, ln.excl, nd, nd); err != nil {
 				return nil, nil, err
 			}
 			atomic.AddInt64(&m.stats.Downgrades, 1)
@@ -149,7 +149,7 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) ([]Node
 	case ln.excl != NoNode:
 		// Another node holds it exclusively: the line migrates.
 		from := ln.excl
-		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
+		if _, err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
 			return nil, err
 		}
 		atomic.AddInt64(&m.stats.Migrations, 1)
@@ -165,7 +165,7 @@ func (m *Machine) writeLocked(nd NodeID, l LineID, off int, data []byte) ([]Node
 		others := ln.holders
 		others.remove(nd)
 		if !others.empty() {
-			if err := m.fire(l, EventInvalidate, others.lowest(), nd, nd); err != nil {
+			if _, err := m.fire(l, EventInvalidate, others.lowest(), nd, nd); err != nil {
 				return nil, err
 			}
 			atomic.AddInt64(&m.stats.Invalidations, int64(others.count()))

@@ -54,6 +54,13 @@ func (m *Machine) getLineLocked(nd NodeID, l LineID) ([]NodeID, error) {
 	atomic.AddInt64(&m.stats.LineLockAcquires, 1)
 	entry := atomic.LoadInt64(&m.clocks[nd])
 	contended := ln.lock.held
+	// Resolve the blocking transaction while the holder still holds: by the
+	// time the wait ends the holder may have moved on, and the waterfall's
+	// convoy explanation wants who was *actually* in the way.
+	var holderTxn int64
+	if hk := m.hooks.Load(); hk.wf != nil && contended && ln.lock.owner != NoNode {
+		holderTxn = hk.wf.CurrentTxn(int32(ln.lock.owner))
+	}
 	if contended {
 		atomic.AddInt64(&m.stats.LineLockContended, 1)
 	}
@@ -84,11 +91,14 @@ func (m *Machine) getLineLocked(nd NodeID, l LineID) ([]NodeID, error) {
 	// Acquiring the lock also acquires the line exclusively, with the same
 	// coherency side effects as a write.
 	var fev *Event
+	var trig int64 // trigger-force cost charged to nd by fire, attributed separately
 	if ln.excl != NoNode && ln.excl != nd {
 		from := ln.excl
-		if err := m.fire(l, EventMigrate, ln.excl, nd, nd); err != nil {
+		tc, err := m.fire(l, EventMigrate, ln.excl, nd, nd)
+		if err != nil {
 			return nil, err
 		}
+		trig = tc
 		atomic.AddInt64(&m.stats.Migrations, 1)
 		ln.holders = 0
 		m.trace(obs.KindMigrate, nd, int64(l), int64(from))
@@ -97,9 +107,11 @@ func (m *Machine) getLineLocked(nd NodeID, l LineID) ([]NodeID, error) {
 		others := ln.holders
 		others.remove(nd)
 		if !others.empty() {
-			if err := m.fire(l, EventInvalidate, others.lowest(), nd, nd); err != nil {
+			tc, err := m.fire(l, EventInvalidate, others.lowest(), nd, nd)
+			if err != nil {
 				return nil, err
 			}
+			trig = tc
 			atomic.AddInt64(&m.stats.Invalidations, int64(others.count()))
 			m.trace(obs.KindInvalidate, nd, int64(l), int64(others.count()))
 			fev = &Event{Line: l, Kind: EventInvalidate, From: others.lowest(), To: nd}
@@ -119,14 +131,27 @@ func (m *Machine) getLineLocked(nd NodeID, l LineID) ([]NodeID, error) {
 	ln.lock.held = true
 	ln.lock.owner = nd
 	maxStoreInt64(&m.clocks[nd], start+cost)
-	if hk := m.hooks.Load(); hk.obs != nil {
+	if hk := m.hooks.Load(); hk.obs != nil || hk.wf != nil {
 		// Acquisition latency is the simulated interval from the caller
 		// issuing GetLine to holding the lock: queueing delay (chained
 		// through freeAt) plus the acquire cost itself.
 		lat := start + cost - entry
-		hk.obs.ObserveLineLock(lat)
-		if contended {
-			hk.obs.Instant(obs.KindLineLockWait, int32(nd), start+cost, int64(l), lat)
+		if hk.obs != nil {
+			hk.obs.ObserveLineLock(lat)
+			if contended {
+				hk.obs.Instant(obs.KindLineLockWait, int32(nd), start+cost, int64(l), lat)
+			}
+		}
+		// The waterfall counts real waiting only: a contended acquisition,
+		// or simulated queueing chained through freeAt (start > entry). The
+		// uncontended acquire cost itself stays in the compute residue, and a
+		// trigger force charged by fire is already the DB layer's CauseLogForce
+		// segment — subtract it so the causes don't overlap.
+		if hk.wf != nil && (contended || start > entry) {
+			if holderTxn == 0 {
+				holderTxn = ln.lock.lastTxn
+			}
+			hk.wf.NoteLineWait(int32(nd), int(l), holderTxn, start+cost, lat-trig)
 		}
 	}
 	return victims, nil
@@ -164,6 +189,9 @@ func (m *Machine) ReleaseLine(nd NodeID, l LineID) error {
 		return ErrNotLockHolder
 	}
 	m.charge(nd, m.cfg.Cost.LineLockRelease)
+	if hk := m.hooks.Load(); hk.wf != nil {
+		ln.lock.lastTxn = hk.wf.CurrentTxn(int32(nd))
+	}
 	ln.lock.held = false
 	ln.lock.owner = NoNode
 	// The lock becomes free, in simulated time, when the releasing node's

@@ -58,6 +58,7 @@ import (
 
 	"smdb/internal/obs"
 	"smdb/internal/obs/prof"
+	"smdb/internal/obs/waterfall"
 )
 
 // NodeID identifies a processor/memory pair. Nodes are numbered from 0.
@@ -165,6 +166,11 @@ type lineLock struct {
 	// freeAt is the simulated time at which the lock last became (or will
 	// become) free; it chains queueing delay through successive holders.
 	freeAt int64
+	// lastTxn is the transaction that last released the lock (resolved at
+	// release time through the waterfall recorder's current-txn table), so
+	// a queued-but-uncontended acquisition — simulated queueing chained
+	// through freeAt — can still name the convoy it waited behind.
+	lastTxn int64
 }
 
 // line is one cache line plus its directory entry.
@@ -275,6 +281,7 @@ type hookSet struct {
 	schedNote       SchedNoteFunc
 	obs             *obs.Observer
 	prof            *prof.StripeProf
+	wf              *waterfall.Recorder
 }
 
 // InstallGateFunc is consulted by Install with the line's stripe held,
@@ -469,6 +476,14 @@ func (m *Machine) SetObserver(o *obs.Observer) {
 	m.setHooks(func(hk *hookSet) { hk.obs = o })
 }
 
+// SetWaterfall attaches (or, with nil, detaches) the per-transaction latency
+// waterfall recorder. Line-lock waits (with the holding transaction, when
+// resolvable) are reported to it. The recorder must not call back into the
+// Machine.
+func (m *Machine) SetWaterfall(w *waterfall.Recorder) {
+	m.setHooks(func(hk *hookSet) { hk.wf = w })
+}
+
 // trace records an instant event at node nd's current simulated time. Safe
 // to call with or without stripe locks held.
 func (m *Machine) trace(k obs.Kind, nd NodeID, a, b int64) {
@@ -568,11 +583,11 @@ func (m *Machine) checkRange(l LineID, off, n int) error {
 // has made the line's pending log records stable, so later transitions need
 // no further forces until the line is updated again. Called with the line's
 // stripe held.
-func (m *Machine) fire(l LineID, kind EventKind, from, to, charge NodeID) error {
+func (m *Machine) fire(l LineID, kind EventKind, from, to, charge NodeID) (int64, error) {
 	ln := &m.lines[l]
 	hk := m.hooks.Load()
 	if !ln.active || hk.preTransition == nil {
-		return nil
+		return 0, nil
 	}
 	cost, err := hk.preTransition(Event{Line: l, Kind: kind, From: from, To: to})
 	if charge >= 0 && int(charge) < len(m.clocks) {
@@ -583,5 +598,5 @@ func (m *Machine) fire(l LineID, kind EventKind, from, to, charge NodeID) error 
 	if err == nil {
 		ln.active = false
 	}
-	return err
+	return cost, err
 }

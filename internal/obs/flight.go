@@ -47,6 +47,20 @@ type ProfSource interface {
 	WriteProfProm(w io.Writer) error
 }
 
+// WaterfallSource renders the per-transaction latency waterfall surfaces
+// (waterfall.Recorder satisfies it; like GraphWriter, the interface lives
+// here so obs does not import its own subpackage). WriteWaterfallJSON is the
+// combined document the flight recorder stores as waterfall.json;
+// WriteWaterfallProm appends Prometheus lines to /metrics.
+type WaterfallSource interface {
+	WriteSlowJSON(w io.Writer, max int) error
+	WriteTxnJSON(w io.Writer, txn int64) error
+	WriteWaterfallChrome(w io.Writer) error
+	WriteWaterfallProm(w io.Writer) error
+	WriteWaterfallJSON(w io.Writer) error
+	WriteRecoveryProgress(w io.Writer) error
+}
+
 // DefaultFlightEvents is the per-node event tail retained in a dump.
 const DefaultFlightEvents = 256
 
@@ -72,6 +86,7 @@ type FlightRecorder struct {
 	graph    GraphWriter
 	audit    AuditSource
 	prof     ProfSource
+	wfall    WaterfallSource
 	stats    func(io.Writer) error
 	aux      map[string]func(io.Writer) error
 	dumps    []string
@@ -92,10 +107,12 @@ func NewFlightRecorder(dir string, lastN int) *FlightRecorder {
 // rings are tailed, an optional dependency-graph renderer, an optional
 // audit source (the online auditor's violations, trails, and time series
 // join every dump), an optional profiler source (the contention profiler's
-// combined document joins as prof.json), and an optional stats writer
-// (called once per dump; implementations typically print deltas since the
-// previous dump). Any may be nil.
-func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p ProfSource, stats func(io.Writer) error) {
+// combined document joins as prof.json), an optional waterfall source (the
+// tail-sampled slow-transaction traces and recovery progress join as
+// waterfall.json), and an optional stats writer (called once per dump;
+// implementations typically print deltas since the previous dump). Any may
+// be nil.
+func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p ProfSource, wf WaterfallSource, stats func(io.Writer) error) {
 	if r == nil {
 		return
 	}
@@ -104,6 +121,7 @@ func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p
 	r.graph = g
 	r.audit = a
 	r.prof = p
+	r.wfall = wf
 	r.stats = stats
 	r.mu.Unlock()
 }
@@ -261,6 +279,9 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		if r.prof != nil {
 			fmt.Fprintf(w, " prof.json")
 		}
+		if r.wfall != nil {
+			fmt.Fprintf(w, " waterfall.json")
+		}
 		if r.stats != nil {
 			fmt.Fprintf(w, " stats.txt")
 		}
@@ -347,6 +368,11 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 	}
 	if r.prof != nil {
 		if err := r.writeFile(dir, "prof.json", &written, r.prof.WriteProfJSON); err != nil {
+			return "", err
+		}
+	}
+	if r.wfall != nil {
+		if err := r.writeFile(dir, "waterfall.json", &written, r.wfall.WriteWaterfallJSON); err != nil {
 			return "", err
 		}
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -19,7 +20,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string, string) {
 }
 
 func TestHTTPHandlerEndpoints(t *testing.T) {
-	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{})
+	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{}, nil)
 
 	code, body, _ := get(t, h, "/healthz")
 	if code != 200 || !strings.HasPrefix(body, "ok events=") {
@@ -94,7 +95,7 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 }
 
 func TestHTTPHandlerNilSources(t *testing.T) {
-	h := NewHTTPHandler(nil, nil, nil, nil)
+	h := NewHTTPHandler(nil, nil, nil, nil, nil)
 	code, body, _ := get(t, h, "/deps")
 	if code != 200 || !strings.Contains(body, "no dependency tracker attached") {
 		t.Errorf("/deps with nil graph = %d %q", code, body)
@@ -116,7 +117,7 @@ func TestHTTPHandlerNilSources(t *testing.T) {
 }
 
 func TestServeHTTPLive(t *testing.T) {
-	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil, nil, nil)
+	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,4 +140,105 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// stubWf is a WaterfallSource standing in for the waterfall recorder (same
+// import constraint as stubGraph: obs cannot import its own subpackage).
+type stubWf struct{}
+
+func (stubWf) WriteSlowJSON(w io.Writer, max int) error {
+	_, err := fmt.Fprintf(w, "{\"enabled\":true,\"slow\":[],\"max\":%d}\n", max)
+	return err
+}
+func (stubWf) WriteTxnJSON(w io.Writer, txn int64) error {
+	_, err := fmt.Fprintf(w, "{\"enabled\":true,\"txn\":%d}\n", txn)
+	return err
+}
+func (stubWf) WriteWaterfallChrome(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
+	return err
+}
+func (stubWf) WriteWaterfallProm(w io.Writer) error {
+	_, err := io.WriteString(w, "# TYPE smdb_txn_wait_ns counter\nsmdb_txn_wait_ns{cause=\"compute\"} 0\n")
+	return err
+}
+func (stubWf) WriteWaterfallJSON(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true}\n")
+	return err
+}
+func (stubWf) WriteRecoveryProgress(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true,\"phases\":[]}\n")
+	return err
+}
+
+// TestEndpointIndexComplete pins the generated index to the registrations:
+// every endpoint the mux registers must appear in the "/" body and must not
+// 404 — the drift the hand-maintained index used to accumulate.
+func TestEndpointIndexComplete(t *testing.T) {
+	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{}, stubWf{})
+	code, body, _ := get(t, h, "/")
+	if code != 200 {
+		t.Fatalf("index = %d", code)
+	}
+	eps := Endpoints()
+	if len(eps) < 15 {
+		t.Fatalf("only %d registered endpoints — registration enumeration broken: %v", len(eps), eps)
+	}
+	for _, pat := range eps {
+		if !strings.Contains(body, strings.TrimSuffix(pat, "/")) {
+			t.Errorf("index body missing registered endpoint %s:\n%s", pat, body)
+		}
+		switch pat {
+		case "/debug/pprof/profile", "/debug/pprof/trace":
+			// These block sampling for seconds; presence in the index plus the
+			// shared registration path is the guarantee.
+			continue
+		}
+		if code, _, _ := get(t, h, pat); code == 404 {
+			t.Errorf("registered endpoint %s returns 404", pat)
+		}
+	}
+}
+
+func TestWaterfallEndpoints(t *testing.T) {
+	h := NewHTTPHandler(goldenObserver(), nil, nil, nil, stubWf{})
+
+	code, body, ctype := get(t, h, "/slow?max=5")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"max":5`) {
+		t.Errorf("/slow?max=5 = %d %q %q", code, ctype, body)
+	}
+	code, body, _ = get(t, h, "/slow/trace")
+	if code != 200 || !strings.Contains(body, `"traceEvents"`) {
+		t.Errorf("/slow/trace = %d %q", code, body)
+	}
+	// Both txn id spellings resolve to the packed integer.
+	code, body, _ = get(t, h, "/slow/t0.3")
+	if code != 200 || !strings.Contains(body, `"txn":3`) {
+		t.Errorf("/slow/t0.3 = %d %q", code, body)
+	}
+	code, body, _ = get(t, h, "/slow/281474976710660")
+	if code != 200 || !strings.Contains(body, `"txn":281474976710660`) {
+		t.Errorf("/slow/<packed> = %d %q", code, body)
+	}
+	code, _, _ = get(t, h, "/slow/bogus")
+	if code != 400 {
+		t.Errorf("/slow/bogus = %d, want 400", code)
+	}
+	code, body, _ = get(t, h, "/recovery/progress")
+	if code != 200 || !strings.Contains(body, `"phases"`) {
+		t.Errorf("/recovery/progress = %d %q", code, body)
+	}
+	code, body, _ = get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "smdb_txn_wait_ns") {
+		t.Errorf("/metrics does not append waterfall lines: %d\n%s", code, body)
+	}
+
+	// Without a recorder the waterfall endpoints degrade, not 404.
+	h = NewHTTPHandler(nil, nil, nil, nil, nil)
+	for _, path := range []string{"/slow", "/slow/trace", "/slow/t0.1", "/recovery/progress"} {
+		code, body, _ := get(t, h, path)
+		if code != 200 || !strings.Contains(body, `"enabled": false`) {
+			t.Errorf("%s with nil recorder = %d %q", path, code, body)
+		}
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/obs/prof"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/recovery"
 	"smdb/internal/sched"
 )
@@ -40,6 +41,8 @@ type Flags struct {
 	Audit     bool          // -audit: per-txn trails + online IFA auditor + time series
 	Window    time.Duration // -window: audit time-series window width (simulated time)
 	Prof      bool          // -prof: stripe-contention + worker cost-attribution profiler
+	Waterfall bool          // -waterfall: per-txn latency waterfalls + tail sampler + recovery progress
+	SlowK     int           // -slowk: slowest transactions retained per sampler window
 
 	// RecoverWorkers is -recoverworkers: the restart-recovery fan-out every
 	// cmd copies into recovery.Config.RecoveryWorkers (0 or 1 = sequential).
@@ -71,6 +74,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Audit, "audit", false, "per-transaction audit trails, the online IFA auditor, and windowed time-series metrics")
 	fs.DurationVar(&f.Window, "window", time.Millisecond, "audit time-series window width, in simulated time")
 	fs.BoolVar(&f.Prof, "prof", false, "per-stripe lock contention and per-worker recovery cost profiling (/prof/stripes, /prof/workers, end-of-run report)")
+	fs.BoolVar(&f.Waterfall, "waterfall", false, "per-transaction latency waterfalls with tail-sampled causal traces and live recovery progress (/slow, /recovery/progress)")
+	fs.IntVar(&f.SlowK, "slowk", 0, "slowest transactions retained per waterfall sampler window (0 = default 8)")
 	fs.IntVar(&f.RecoverWorkers, "recoverworkers", 0, "parallel restart-recovery workers (0 = sequential)")
 	fs.StringVar(&f.Record, "record", "", "record chaos schedules (one JSON per seed) under this directory")
 	fs.StringVar(&f.Replay, "replay", "", "replay a recorded chaos schedule file deterministically")
@@ -121,7 +126,7 @@ func (f *Flags) RejectSched(cmd string) error {
 
 // Enabled reports whether any observability surface was requested.
 func (f *Flags) Enabled() bool {
-	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != "" || f.Audit || f.Prof
+	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != "" || f.Audit || f.Prof || f.Waterfall
 }
 
 // Stack is the assembled observability stack for one command run. The
@@ -138,6 +143,7 @@ type Stack struct {
 	cur    atomic.Pointer[deps.Tracker]
 	aud    atomic.Pointer[audit.Auditor]
 	prof   atomic.Pointer[prof.Pair]
+	wf     atomic.Pointer[waterfall.Recorder]
 
 	holdStop chan struct{}
 	holdOnce sync.Once
@@ -180,6 +186,34 @@ func (s *Stack) WriteProfJSON(w io.Writer) error { return s.prof.Load().WritePro
 // WriteProfProm renders the current profiler's Prometheus lines.
 func (s *Stack) WriteProfProm(w io.Writer) error { return s.prof.Load().WriteProfProm(w) }
 
+// WriteSlowJSON and friends make Stack the obs.WaterfallSource handed to the
+// HTTP server and flight recorder, delegating to the waterfall recorder from
+// the most recent Attach (the waterfall writers are nil-receiver safe,
+// reporting {"enabled": false} before the first Attach or with -waterfall
+// off).
+func (s *Stack) WriteSlowJSON(w io.Writer, max int) error { return s.wf.Load().WriteSlowJSON(w, max) }
+
+// WriteTxnJSON renders one sampled transaction's waterfall.
+func (s *Stack) WriteTxnJSON(w io.Writer, txn int64) error { return s.wf.Load().WriteTxnJSON(w, txn) }
+
+// WriteWaterfallChrome renders the sampled waterfalls as Chrome trace JSON.
+func (s *Stack) WriteWaterfallChrome(w io.Writer) error { return s.wf.Load().WriteWaterfallChrome(w) }
+
+// WriteWaterfallProm renders the waterfall Prometheus counters.
+func (s *Stack) WriteWaterfallProm(w io.Writer) error { return s.wf.Load().WriteWaterfallProm(w) }
+
+// WriteWaterfallJSON renders the flight-recorder waterfall document.
+func (s *Stack) WriteWaterfallJSON(w io.Writer) error { return s.wf.Load().WriteWaterfallJSON(w) }
+
+// WriteRecoveryProgress renders the live recovery-progress document.
+func (s *Stack) WriteRecoveryProgress(w io.Writer) error {
+	return s.wf.Load().WriteRecoveryProgress(w)
+}
+
+// Waterfall returns the waterfall recorder from the most recent Attach (nil
+// before the first, or with -waterfall off).
+func (s *Stack) Waterfall() *waterfall.Recorder { return s.wf.Load() }
+
 // Prof returns the profiler pair from the most recent Attach (nil before the
 // first, or with -prof off).
 func (s *Stack) Prof() *prof.Pair { return s.prof.Load() }
@@ -209,7 +243,7 @@ func (f *Flags) Build() (*Stack, error) {
 		s.Flight = obs.NewFlightRecorder(f.FlightDir, f.FlightN)
 	}
 	if f.HTTP != "" {
-		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s, s, s)
+		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s, s, s, s)
 		if err != nil {
 			return nil, fmt.Errorf("-http: %w", err)
 		}
@@ -254,6 +288,16 @@ func (s *Stack) Attach(db *recovery.DB) *deps.Tracker {
 		p := prof.NewPair(machine.StripeCount)
 		db.AttachProf(p)
 		s.prof.Store(p)
+	}
+	if s.flags.Waterfall {
+		// A fresh recorder per DB, like the profiler; attach before the
+		// flight recorder so waterfall.json joins its dumps.
+		w := waterfall.New(waterfall.Config{
+			TopK:  s.flags.SlowK,
+			Nodes: db.M.Nodes(),
+		})
+		db.AttachWaterfall(w)
+		s.wf.Store(w)
 	}
 	if s.Flight != nil {
 		db.SetFlightRecorder(s.Flight)
@@ -320,6 +364,9 @@ func (s *Stack) Finish(out io.Writer) error {
 	if p := s.prof.Load(); p != nil {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, p.Report(5))
+	}
+	if w := s.wf.Load(); w != nil {
+		fmt.Fprintln(out, w.Summary())
 	}
 	if s.flags.Trace != "" {
 		f, err := os.Create(s.flags.Trace)

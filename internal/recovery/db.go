@@ -16,6 +16,7 @@ import (
 	"smdb/internal/obs/audit"
 	"smdb/internal/obs/deps"
 	"smdb/internal/obs/prof"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/sched"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
@@ -250,6 +251,10 @@ type DB struct {
 	// schedp is the attached chaos schedule record/replay session (nil when
 	// disabled); see AttachSched.
 	schedp atomic.Pointer[sched.Session]
+	// wfp is the attached per-transaction waterfall recorder (nil when
+	// disabled); see AttachWaterfall. An atomic pointer because the hot
+	// paths (Update, Read, Commit) consult it outside db.mu.
+	wfp atomic.Pointer[waterfall.Recorder]
 }
 
 type committedImage struct {
@@ -463,6 +468,34 @@ func (db *DB) AttachProf(p *prof.Pair) {
 	db.mu.Unlock()
 }
 
+// AttachWaterfall wires the per-transaction latency waterfall recorder
+// through every substrate that attributes waits: the machine (line-lock
+// queueing with holder resolution), each node's WAL (append markers), the
+// buffer manager (disk-fetch waits), and the protocol layer itself (compute
+// residue brackets, log-force and undo time, transaction lifecycle). Passing
+// nil detaches everywhere.
+func (db *DB) AttachWaterfall(w *waterfall.Recorder) {
+	db.M.SetWaterfall(w)
+	for _, l := range db.Logs {
+		node := l.Node()
+		var fn func() int64
+		if w != nil {
+			fn = func() int64 { return db.M.Clock(node) }
+		}
+		l.SetWaterfall(w, fn)
+	}
+	db.BM.SetWaterfall(w)
+	if w == nil {
+		db.wfp.Store(nil)
+		return
+	}
+	db.wfp.Store(w)
+}
+
+// Waterfall returns the attached waterfall recorder (nil when disabled; all
+// its methods are nil-safe).
+func (db *DB) Waterfall() *waterfall.Recorder { return db.wfp.Load() }
+
 // Prof returns the attached profiler pair (nil when disabled).
 func (db *DB) Prof() *prof.Pair {
 	db.mu.Lock()
@@ -509,12 +542,16 @@ func (db *DB) SetFlightRecorder(r *obs.FlightRecorder) {
 	if p := db.Prof(); p != nil {
 		ps = p
 	}
+	var ws obs.WaterfallSource
+	if wf := db.Waterfall(); wf != nil {
+		ws = wf
+	}
 	// Stats writer: machine + protocol counters as deltas since the last
 	// dump, so each dump reads as "what happened since the previous one".
 	var prevM machine.Stats
 	var prevP Stats
 	var prevMu sync.Mutex
-	r.SetSources(o, g, as, ps, func(w io.Writer) error {
+	r.SetSources(o, g, as, ps, ws, func(w io.Writer) error {
 		curM := db.M.Stats()
 		curP := db.Stats()
 		prevMu.Lock()
@@ -595,6 +632,7 @@ func (db *DB) Begin(nd machine.NodeID) (wal.TxnID, error) {
 	o := db.obs
 	db.mu.Unlock()
 	o.Instant(obs.KindTxnBegin, int32(nd), now, int64(id), 0)
+	db.wfp.Load().Begin(int64(id), int32(nd), now)
 	return id, nil
 }
 

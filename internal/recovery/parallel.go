@@ -6,6 +6,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/wal"
 )
 
@@ -105,7 +106,7 @@ func (db *DB) CommitGlobal(g GlobalID) error {
 	// stable commit record but an aborted sibling is repaired by the
 	// global-abort pass below).
 	for _, t := range branches {
-		if err := db.forceThrough(t.Node(), lsns[t], func(s *Stats) { s.CommitForces++ }); err != nil {
+		if err := db.forceThroughTxn(t.Node(), t, lsns[t], func(s *Stats) { s.CommitForces++ }); err != nil {
 			return fmt.Errorf("recovery: global commit %d: %w", g, err)
 		}
 		if lsns[t] == 0 || db.Logs[t.Node()].ForcedLSN() < lsns[t] {
@@ -167,6 +168,13 @@ func (db *DB) finalizeCommit(t wal.TxnID) error {
 		now := db.M.Clock(nd)
 		o.Instant(obs.KindTxnCommit, int32(nd), now, int64(t), 0)
 		o.ObserveCommit(now - beginSim)
+	}
+	if wf := db.wfp.Load(); wf != nil {
+		// Close the Commit bracket (a no-op for global branches, which never
+		// opened one) and complete the waterfall.
+		now := db.M.Clock(nd)
+		wf.OpEnd(int64(t), int32(nd), now)
+		wf.End(int64(t), now, waterfall.OutcomeCommitted)
 	}
 	return nil
 }

@@ -9,8 +9,15 @@ import (
 	"smdb/internal/machine"
 	"smdb/internal/obs"
 	"smdb/internal/obs/prof"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/wal"
 )
+
+// wfProgress returns the attached waterfall recorder's recovery-progress
+// observer; nil (a no-op observer) when no recorder is attached.
+func (db *DB) wfProgress() *waterfall.Progress {
+	return db.wfp.Load().Progress()
+}
 
 // Restart recovery (section 4.1.2 for database objects, 4.2 for support
 // structures). The caller injects failures with Crash and then runs Recover
@@ -117,6 +124,12 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	// The profiler span covers the whole call, every early return included,
 	// so rep.Prof is the exact counter delta attributable to this recovery.
 	defer db.startProfSpan(rep)()
+	// The live progress observer (/recovery/progress) opens here and closes on
+	// every exit, reporting success only for the normal returns.
+	pg := db.wfProgress()
+	pg.Start(len(rep.Crashed))
+	recovered := false
+	defer func() { pg.End(recovered) }()
 	startClock := db.M.MaxClock()
 	o := db.Observer()
 
@@ -145,6 +158,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 
 	if db.Cfg.Protocol == BaselineFA {
 		rep.Attempts = 1
+		pg.Attempt(1)
 		phase := db.phaseTracker(rep, o)
 		if err := db.baselineReboot(rep, phase); err != nil {
 			return nil, err
@@ -156,6 +170,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		rep.SimTime = db.M.MaxClock() - startClock
 		o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
 		db.noteRecovered(rep)
+		recovered = true
 		return rep, nil
 	}
 
@@ -171,6 +186,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 		}
 		lastCoord = alive[0]
 		rep.Attempts++
+		pg.Attempt(rep.Attempts)
 		err := db.recoverOnce(alive, rep)
 		if err == nil {
 			break
@@ -197,6 +213,7 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	rep.SimTime = db.M.MaxClock() - startClock
 	o.Span(obs.KindRecovery, obs.PhaseNone, obs.SystemNode, startClock, rep.SimTime)
 	db.noteRecovered(rep)
+	recovered = true
 	return rep, nil
 }
 
@@ -298,6 +315,10 @@ func (db *DB) recoverOnce(alive []machine.NodeID, rep *RecoveryReport) error {
 	if err != nil {
 		return err
 	}
+	// The candidate count is the known total for the probe and apply phases:
+	// from here /recovery/progress can report an ETA.
+	db.wfProgress().Plan(obs.PhaseProbe.String(), len(cands))
+	db.wfProgress().Plan(obs.PhaseRedoApply.String(), len(cands))
 	if err := step(obs.PhaseRedoScan); err != nil {
 		return err
 	}
@@ -425,10 +446,12 @@ func mergeNodes(a, b []machine.NodeID) []machine.NodeID {
 // measured on the simulated clock (MaxClock deltas), matching SimTime.
 func (db *DB) phaseTracker(rep *RecoveryReport, o *obs.Observer) func(obs.Phase) {
 	start := db.M.MaxClock()
+	pg := db.wfProgress()
 	return func(p obs.Phase) {
 		now := db.M.MaxClock()
 		rep.Phases = append(rep.Phases, obs.PhaseSpan{Phase: p, Start: start, Dur: now - start})
 		o.Span(obs.KindPhase, p, obs.SystemNode, start, now-start)
+		pg.PhaseDone(p.String(), now-start)
 		start = now
 	}
 }
@@ -618,6 +641,7 @@ func (db *DB) collectRedoNode(n, coord machine.NodeID) ([]redoCand, error) {
 		cands = append(cands, redoCand{onto: onto, rec: rec})
 		return true
 	})
+	db.wfProgress().Note(obs.PhaseRedoScan.String(), len(cands), 0)
 	if len(deadChecks) > 0 {
 		// A restarted node's log can still carry updates of a transaction
 		// that died with an earlier crash. If that crash also destroyed the
@@ -660,6 +684,7 @@ func (db *DB) probeRedo(cands []redoCand, rep *RecoveryReport) error {
 // probeRedoSlice probes one run of candidates (the whole list sequentially;
 // one page's bucket under the parallel pipeline).
 func (db *DB) probeRedoSlice(cands []redoCand) error {
+	pg := db.wfProgress()
 	for _, c := range cands {
 		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
 		line, _, err := db.Store.LineOf(rid)
@@ -671,6 +696,7 @@ func (db *DB) probeRedoSlice(cands []redoCand) error {
 				return err
 			}
 		}
+		pg.Note(obs.PhaseProbe.String(), 1, 0)
 	}
 	return nil
 }
@@ -746,6 +772,9 @@ func (db *DB) redoRecord(nd machine.NodeID, rec wal.Record, rid heap.RID, rep *R
 	}
 	if cur.Version >= rec.Version {
 		rep.RedoSkipped++
+		// A skip still consumes one planned candidate: progress records count
+		// toward the Plan() total either way, keeping the ETA honest.
+		db.wfProgress().Note(obs.PhaseRedoApply.String(), 1, 0)
 		return nil
 	}
 	flags, data := splitImage(rec.After)
@@ -769,6 +798,7 @@ func (db *DB) redoRecord(nd machine.NodeID, rec wal.Record, rid heap.RID, rep *R
 	}
 	db.BM.MarkDirty(rid.Page)
 	rep.RedoApplied++
+	db.wfProgress().Note(obs.PhaseRedoApply.String(), 1, len(rec.After))
 	return nil
 }
 
@@ -835,6 +865,7 @@ func (db *DB) undoCrashed(coord machine.NodeID, crashed []machine.NodeID, rep *R
 					return nil, err
 				}
 				rep.UndoApplied++
+				db.wfProgress().Note(obs.PhaseUndo.String(), 1, len(su.earliest))
 			}
 		}
 	}
@@ -968,6 +999,7 @@ func (db *DB) scanNodeTags(nd machine.NodeID, down map[machine.NodeID]bool, tagg
 			}
 		}
 	}
+	db.wfProgress().Note(obs.PhaseUndoTagScan.String(), lines, 0)
 	return acts, lines, nil
 }
 
@@ -1127,6 +1159,7 @@ func (db *DB) replayNodeLocks(n machine.NodeID) (int, error) {
 		}
 		replayed++
 	}
+	db.wfProgress().Note(obs.PhaseLockRebuild.String(), replayed, 0)
 	return replayed, nil
 }
 

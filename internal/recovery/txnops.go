@@ -7,8 +7,26 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/wal"
 )
+
+// forceThroughTxn is forceThrough with waterfall attribution: the simulated
+// time the force costs t's node is recorded as a log-force wait on t's
+// waterfall (zero — and unrecorded — when a group force already covered the
+// LSN, which is exactly the waterfall's point: only real stalls appear).
+func (db *DB) forceThroughTxn(nd machine.NodeID, t wal.TxnID, lsn wal.LSN, bump func(*Stats)) error {
+	wf := db.wfp.Load()
+	if wf == nil {
+		return db.forceThrough(nd, lsn, bump)
+	}
+	start := db.M.Clock(nd)
+	err := db.forceThrough(nd, lsn, bump)
+	if end := db.M.Clock(nd); end > start {
+		wf.AddWait(int64(t), waterfall.CauseLogForce, start, end-start, int64(lsn), 0)
+	}
+	return err
+}
 
 // Commit commits transaction t: its undo tags are cleared (the record is no
 // longer active, so its node ID becomes null), a commit record is appended
@@ -26,9 +44,15 @@ func (db *DB) Commit(nd machine.NodeID, t wal.TxnID) error {
 	if t.Node() != nd {
 		return fmt.Errorf("recovery: %v cannot commit on node %d", t, nd)
 	}
+	// Commit is an instrumented operation: the force below lands as a
+	// log-force wait and the remainder (deferred flush, tag clears inside
+	// finalizeCommit) as compute. finalizeCommit closes the bracket just
+	// before it ends the waterfall; on the error paths the node is down and
+	// the crash sweep already dropped the open waterfall.
+	db.wfp.Load().OpStart(int64(t), int32(nd), db.M.Clock(nd))
 	db.flushDeferred(nd, st)
 	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeCommit, Txn: t})
-	if err := db.forceThrough(nd, lsn, func(s *Stats) { s.CommitForces++ }); err != nil {
+	if err := db.forceThroughTxn(nd, t, lsn, func(s *Stats) { s.CommitForces++ }); err != nil {
 		return fmt.Errorf("recovery: commit of %v: %w", t, err)
 	}
 	// The commit is acknowledged only if its record really reached stable
@@ -108,6 +132,11 @@ func (db *DB) Abort(nd machine.NodeID, t wal.TxnID) error {
 	if db.Cfg.Protocol.DeferredLogging() && hasWrites {
 		return fmt.Errorf("recovery: %v cannot abort under %v (no undo information was logged)", t, db.Cfg.Protocol)
 	}
+	// The rollback is a bracket whose residue lands under "undo": the walk's
+	// slot reads, image installs, and directory work are undo time, while
+	// line waits and page fetches inside it keep their own causes.
+	wf := db.wfp.Load()
+	wf.SpanStart(int64(t), int32(nd), db.M.Clock(nd), waterfall.CauseUndo)
 	// Aggregate the undo per slot — the earliest before image plus the set
 	// of versions this transaction wrote — exactly as crashed-transaction
 	// undo does (undoCrashed), and only install where the slot still holds
@@ -164,7 +193,10 @@ func (db *DB) Abort(nd machine.NodeID, t wal.TxnID) error {
 	db.stats.Aborts++
 	o := db.obs
 	db.mu.Unlock()
-	o.Instant(obs.KindTxnAbort, int32(nd), db.M.Clock(nd), int64(t), 0)
+	now := db.M.Clock(nd)
+	o.Instant(obs.KindTxnAbort, int32(nd), now, int64(t), 0)
+	wf.OpEnd(int64(t), int32(nd), now)
+	wf.End(int64(t), now, waterfall.OutcomeAborted)
 	return nil
 }
 
@@ -247,7 +279,7 @@ func (db *DB) EndNTA(nd machine.NodeID, t wal.TxnID, nta uint64) error {
 	db.mu.Unlock()
 	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeNTAEnd, Txn: t, NTA: nta})
 	if db.Cfg.Protocol.EarlyCommitsStructural() {
-		if err := db.forceThrough(nd, lsn, func(s *Stats) { s.NTAForces++ }); err != nil {
+		if err := db.forceThroughTxn(nd, t, lsn, func(s *Stats) { s.NTAForces++ }); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"smdb/internal/heap"
 	"smdb/internal/machine"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/wal"
 )
 
@@ -120,6 +121,14 @@ func (db *DB) applyChange(nd machine.NodeID, t wal.TxnID, rid heap.RID, newFlags
 	if t.Node() != nd {
 		return fmt.Errorf("recovery: %v runs on node %d, not %d", t, t.Node(), nd)
 	}
+	// The update is an instrumented operation: its line waits, fetch waits,
+	// and eager-LBM forces are attributed individually below, and whatever
+	// sim time remains unexplained lands in the compute residue. Reentrant
+	// under the transaction layer's own bracket.
+	if wf := db.wfp.Load(); wf != nil {
+		wf.OpStart(int64(t), int32(nd), db.M.Clock(nd))
+		defer func() { wf.OpEnd(int64(t), int32(nd), db.M.Clock(nd)) }()
+	}
 	if err := db.BM.Fetch(nd, rid.Page); err != nil {
 		return err
 	}
@@ -196,7 +205,7 @@ func (db *DB) applyChange(nd machine.NodeID, t wal.TxnID, rid heap.RID, newFlags
 		// Stable LBM, enforced within the critical section: both undo and
 		// redo information are stable before the line can move. The force
 		// can be torn by an injected crash; the update dies with the node.
-		if err := db.forceThrough(nd, lsn, func(s *Stats) { s.LBMForces++ }); err != nil {
+		if err := db.forceThroughTxn(nd, t, lsn, func(s *Stats) { s.LBMForces++ }); err != nil {
 			return err
 		}
 	case StableTriggered:
@@ -260,6 +269,15 @@ func (db *DB) lbmTrigger(ev machine.Event) (int64, error) {
 		// Safe with the machine lock held: the observer takes only its own
 		// locks and never calls back into the machine.
 		db.Observer().ObserveLogForce(cost)
+		if wf := db.wfp.Load(); wf != nil {
+			// The machine charges the trigger's cost to the acquiring node
+			// (ev.To), so the force is that node's current transaction's
+			// wait — the price of pulling an active line out of ev.From's
+			// failure domain. Clock and recorder are machine-lock safe.
+			if txn := wf.CurrentTxn(int32(ev.To)); txn != 0 {
+				wf.AddWait(txn, waterfall.CauseLogForce, db.M.Clock(ev.To), cost, int64(upto), 0)
+			}
+		}
 		return cost, nil
 	}
 	return 0, nil

@@ -20,6 +20,7 @@ import (
 	"smdb/internal/lock"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/recovery"
 	"smdb/internal/sched"
 	"smdb/internal/wal"
@@ -53,6 +54,28 @@ type Txn struct {
 	id   wal.TxnID
 	node machine.NodeID
 	done bool
+	// stallSince is the sim time this transaction first observed the recovery
+	// freeze window (0 = not stalled); when the freeze lifts, the span becomes
+	// a CauseFrozen waterfall segment.
+	stallSince int64
+}
+
+// wfNop is the shared no-op bracket closer for the recorder-off path.
+var wfNop = func() {}
+
+// wfOp opens this operation's waterfall bracket — the compute-residue
+// accounting covers the whole transaction-layer op, lock-manager work
+// included — and returns its closer. The engine's own brackets (applyChange)
+// nest inside harmlessly. With no recorder attached both halves no-op.
+func (t *Txn) wfOp() func() {
+	wf := t.mgr.DB.Waterfall()
+	if wf == nil {
+		return wfNop
+	}
+	wf.OpStart(int64(t.id), int32(t.node), t.mgr.DB.M.Clock(t.node))
+	return func() {
+		wf.OpEnd(int64(t.id), int32(t.node), t.mgr.DB.M.Clock(t.node))
+	}
 }
 
 // Begin starts a transaction on node nd.
@@ -88,14 +111,41 @@ func (t *Txn) check() error {
 		// Between a crash and the end of restart recovery, transaction
 		// processing stalls (the hardware has interrupted all CPUs);
 		// callers retry as they do for lock waits.
+		if t.stallSince == 0 && t.mgr.DB.Waterfall() != nil {
+			t.stallSince = t.mgr.DB.M.Clock(t.node)
+		}
 		return ErrBlocked
+	}
+	if t.stallSince != 0 {
+		// The freeze lifted: whatever sim time recovery charged this node in
+		// the meantime is the transaction's frozen stall.
+		if wf := t.mgr.DB.Waterfall(); wf != nil {
+			now := t.mgr.DB.M.Clock(t.node)
+			wf.AddWait(int64(t.id), waterfall.CauseFrozen, t.stallSince, now-t.stallSince, 0, 0)
+		}
+		t.stallSince = 0
 	}
 	return nil
 }
 
 // acquire requests a lock, translating a queued request into ErrBlocked and
-// a waits-for cycle into ErrDeadlock (with the wait cancelled).
-func (t *Txn) acquire(name lock.Name, mode lock.Mode) error {
+// a waits-for cycle into ErrDeadlock (with the wait cancelled). Each blocked
+// attempt's sim cost — the shared-memory lock-manager work of queueing and
+// re-probing, which is how a waiting node's clock advances — is recorded as a
+// CauseLockWait segment; a granted attempt's cost stays in the enclosing
+// bracket's compute residue.
+func (t *Txn) acquire(name lock.Name, mode lock.Mode) (err error) {
+	if wf := t.mgr.DB.Waterfall(); wf != nil {
+		waitFrom := t.mgr.DB.M.Clock(t.node)
+		defer func() {
+			if !errors.Is(err, ErrBlocked) && !errors.Is(err, ErrDeadlock) {
+				return
+			}
+			if end := t.mgr.DB.M.Clock(t.node); end > waitFrom {
+				wf.AddWait(int64(t.id), waterfall.CauseLockWait, waitFrom, end-waitFrom, int64(name), 0)
+			}
+		}()
+	}
 	locks := t.mgr.DB.Locks
 	granted, err := locks.Acquire(t.node, t.id, name, mode)
 	if err != nil {
@@ -135,6 +185,7 @@ func (t *Txn) LockKey(key uint64, mode lock.Mode) error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	defer t.wfOp()()
 	return t.acquire(lock.NameOfKey(key), mode)
 }
 
@@ -143,6 +194,7 @@ func (t *Txn) Read(rid heap.RID) ([]byte, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
+	defer t.wfOp()()
 	if err := t.acquire(lock.NameOfRID(rid), lock.Shared); err != nil {
 		return nil, err
 	}
@@ -167,6 +219,7 @@ func (t *Txn) ReadDirty(rid heap.RID) ([]byte, error) {
 	if !t.mgr.DB.Cfg.DirtyReads {
 		return nil, errors.New("txn: dirty reads not enabled")
 	}
+	defer t.wfOp()()
 	sd, err := t.mgr.DB.Read(t.node, rid)
 	if err != nil {
 		return nil, err
@@ -182,6 +235,7 @@ func (t *Txn) Write(rid heap.RID, data []byte) error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	defer t.wfOp()()
 	if err := t.acquire(lock.NameOfRID(rid), lock.Exclusive); err != nil {
 		return err
 	}
@@ -193,6 +247,7 @@ func (t *Txn) Insert(rid heap.RID, data []byte) error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	defer t.wfOp()()
 	if err := t.acquire(lock.NameOfRID(rid), lock.Exclusive); err != nil {
 		return err
 	}
@@ -204,6 +259,7 @@ func (t *Txn) Delete(rid heap.RID) error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	defer t.wfOp()()
 	if err := t.acquire(lock.NameOfRID(rid), lock.Exclusive); err != nil {
 		return err
 	}

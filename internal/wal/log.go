@@ -5,6 +5,7 @@ import (
 
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/waterfall"
 	"smdb/internal/storage"
 )
 
@@ -50,6 +51,10 @@ type Log struct {
 	// machine lock is already held.
 	obs    *obs.Observer
 	simNow func() int64
+	// wf receives per-transaction append markers for the latency waterfall
+	// (appends cost no simulated time, so the markers carry ordering, not
+	// duration). Same locking constraints as obs.
+	wf *waterfall.Recorder
 }
 
 // NewLog creates a log for node n backed by stable device dev. If dev
@@ -95,6 +100,17 @@ func (l *Log) SetObserver(o *obs.Observer, simNow func() int64) {
 	l.simNow = simNow
 }
 
+// SetWaterfall attaches (or, with nil, detaches) the waterfall recorder.
+// simNow has the same contract as in SetObserver; it is shared.
+func (l *Log) SetWaterfall(w *waterfall.Recorder, simNow func() int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wf = w
+	if simNow != nil {
+		l.simNow = simNow
+	}
+}
+
 // now returns the owning node's simulated clock (0 when unwired).
 func (l *Log) now() int64 {
 	if l.simNow == nil {
@@ -131,6 +147,9 @@ func (l *Log) Append(r Record) LSN {
 	l.recs = append(l.recs, r)
 	if l.obs != nil {
 		l.obs.Instant(obs.KindWALAppend, int32(l.node), l.now(), int64(r.LSN), int64(r.Type))
+	}
+	if l.wf != nil && r.Txn != 0 {
+		l.wf.NoteAppend(int64(r.Txn), l.now(), 0, int64(r.LSN))
 	}
 	return r.LSN
 }

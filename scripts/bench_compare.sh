@@ -16,12 +16,23 @@
 # regression flags the run for a human eye without gating merges on shared
 # -runner timing noise. Parsing is plain awk, matching bench_recovery.sh's
 # one-benchmark-per-line JSON layout.
+#
+# When a profiler record pair is also present (BENCH_profile.ci.json fresh,
+# BENCH_profile.json committed, overridable via args 4 and 5), the script
+# additionally diffs the attribution fields — every coverage_mean key — and
+# prints a WARNING when fresh coverage drops more than 0.02 below baseline
+# or below the 0.9 acceptance bar. That half is informational only: it never
+# changes the exit status (coverage is already gated by the test suite; the
+# diff here is for spotting drift in the committed record), and like the
+# ns/op half it is skipped with a warning when gomaxprocs differ.
 set -eu
 
 cd "$(dirname "$0")/.."
 fresh="${1:-BENCH_recovery.ci.json}"
 base="${2:-BENCH_recovery.json}"
 thresh="${3:-20}"
+pfresh="${4:-BENCH_profile.ci.json}"
+pbase="${5:-BENCH_profile.json}"
 
 for f in "$base" "$fresh"; do
     if [ ! -f "$f" ]; then
@@ -29,6 +40,49 @@ for f in "$base" "$fresh"; do
         exit 2
     fi
 done
+
+# Attribution diff (non-blocking): runs first so its warnings are not lost
+# when the ns/op half exits non-zero below.
+if [ -f "$pbase" ] && [ -f "$pfresh" ]; then
+    awk -v basefile="$pbase" -v freshfile="$pfresh" '
+    FNR == 1 { fileno++ }
+    /"gomaxprocs":/ {
+        if (match($0, /[0-9]+/)) gmp[fileno] = substr($0, RSTART, RLENGTH) + 0
+    }
+    /"coverage_mean":/ {
+        s = $0
+        while (match(s, /"[^"]+":[0-9.]+/)) {
+            kv = substr(s, RSTART + 1, RLENGTH - 1)
+            s = substr(s, RSTART + RLENGTH)
+            split(kv, a, /":/)
+            cov[fileno, a[1]] = a[2] + 0
+            if (fileno == 1 && !((a[1]) in seen)) { seen[a[1]] = 1; keys[++nk] = a[1] }
+            if (fileno == 2 && !((a[1]) in seen)) { seen[a[1]] = 1; keys[++nk] = a[1] }
+        }
+    }
+    END {
+        if (gmp[1] != gmp[2]) {
+            printf "WARNING: profile gomaxprocs differ (baseline %s: %d, fresh %s: %d) — attribution diff skipped\n", \
+                basefile, gmp[1], freshfile, gmp[2] > "/dev/stderr"
+            exit 0
+        }
+        for (i = 1; i <= nk; i++) {
+            k = keys[i]
+            if (!((1, k) in cov)) { printf "coverage  %s: fresh-only (%.3f)\n", k, cov[2, k]; continue }
+            if (!((2, k) in cov)) { printf "WARNING: coverage %s in baseline but missing from fresh run\n", k > "/dev/stderr"; continue }
+            b = cov[1, k]; f = cov[2, k]
+            flag = "ok"
+            if (f < b - 0.02 || f < 0.9) {
+                flag = "WARN"
+                printf "WARNING: attribution coverage %s dropped: baseline %.3f, fresh %.3f\n", k, b, f > "/dev/stderr"
+            }
+            printf "%-8s %s: baseline coverage %.3f, fresh %.3f\n", flag, k, b, f
+        }
+    }
+    ' "$pbase" "$pfresh"
+elif [ -f "$pbase" ] || [ -f "$pfresh" ]; then
+    echo "bench_compare: profile record pair incomplete ($pbase / $pfresh); attribution diff skipped" >&2
+fi
 
 awk -v thresh="$thresh" -v basefile="$base" -v freshfile="$fresh" '
 FNR == 1 { fileno++ }

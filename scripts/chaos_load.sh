@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Chaos under CPU load: the capture harness for ROADMAP item 6 (the
+# load-sensitive explainer no-verdict flake, seen only on busy hosts). The
+# scheduler-pressure half of chaos_soak.sh: synthetic CPU burners (pure-shell
+# busy loops, one per core by default) saturate the host while a recorded
+# smdb-chaos sweep runs with -waterfall armed. Any seed that fails writes its
+# schedule to the record directory — a deterministic repro for `smdb-chaos
+# -replay` / `-shrink` — and the optional CI job uploads that directory as an
+# artifact, so a flake that only reproduces under load arrives with its
+# schedule attached.
+#
+# Usage:
+#
+#   scripts/chaos_load.sh [record-dir]
+#
+# Knobs (environment): LOAD_WORKERS (burner count, default one per online
+# CPU), LOAD_SEEDS (sweep width, default 25), LOAD_EPISODES (episodes per
+# seed, default 3). Exits non-zero if the sweep fails; failing schedules are
+# left under record-dir (default ./chaos-load-schedules) for upload.
+set -eu
+
+dir="${1:-chaos-load-schedules}"
+workers="${LOAD_WORKERS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)}"
+seeds="${LOAD_SEEDS:-25}"
+episodes="${LOAD_EPISODES:-3}"
+cd "$(dirname "$0")/.."
+
+# Build before loading the host, so compilation is not what the burners fight.
+bin="$(mktemp -t smdb-chaos.XXXXXX)"
+go build -o "$bin" ./cmd/smdb-chaos
+
+pids=""
+cleanup() {
+    # shellcheck disable=SC2086 — word-split the accumulated pid list.
+    kill $pids 2>/dev/null || true
+    rm -f "$bin"
+}
+trap cleanup EXIT INT TERM
+
+echo "== chaos load: starting $workers CPU burner(s)"
+i=0
+while [ "$i" -lt "$workers" ]; do
+    ( while :; do :; done ) &
+    pids="$pids $!"
+    i=$((i + 1))
+done
+
+echo "== chaos load: recorded sweep ($seeds seeds x $episodes episodes, -waterfall)"
+mkdir -p "$dir"
+"$bin" -seeds "$seeds" -episodes "$episodes" -record "$dir" -waterfall
+
+# A clean sweep records nothing; say so explicitly for the CI log.
+if [ -z "$(ls "$dir" 2>/dev/null)" ]; then
+    echo "== chaos load: clean (no failing schedules recorded)"
+fi
