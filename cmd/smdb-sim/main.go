@@ -89,6 +89,8 @@ func main() {
 		Pages:           32,
 		ChainedLCBs:     *chained,
 		RecoveryWorkers: obsFlags.RecoverWorkers,
+
+		GroupCommitForces: obsFlags.GroupForce,
 	})
 	if err != nil {
 		fatal(err)

@@ -706,12 +706,20 @@ func (s *SMManager) Release(nd machine.NodeID, txn wal.TxnID, name Name) error {
 // times out or its transaction aborts). It is a no-op if txn is not
 // waiting.
 func (s *SMManager) CancelWait(nd machine.NodeID, txn wal.TxnID, name Name) error {
-	return s.withLCB(nd, name, false, func(_ int, b *lcb, ok bool) (bool, error) {
+	canceled, wasHolder := false, false
+	var mode Mode
+	err := s.withLCB(nd, name, false, func(_ int, b *lcb, ok bool) (bool, error) {
 		if !ok {
 			return false, nil
 		}
 		for i, w := range b.waiters {
 			if w.Txn == txn {
+				canceled, mode = true, w.Mode
+				for _, h := range b.holders {
+					if h.Txn == txn {
+						wasHolder = true // upgrade wait: the grant stays
+					}
+				}
 				b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
 				s.promote(b)
 				if len(b.holders) == 0 && len(b.waiters) == 0 {
@@ -722,6 +730,21 @@ func (s *SMManager) CancelWait(nd machine.NodeID, txn wal.TxnID, name Name) erro
 		}
 		return false, nil
 	})
+	if err != nil {
+		return err
+	}
+	if canceled && !wasHolder {
+		// A withdrawn request that was never granted is absent from the
+		// transaction's held-lock bookkeeping, so no release will ever
+		// follow; without a matching log record a post-crash lock replay
+		// would see the bare acquire and resurrect the request for a
+		// transaction that has forgotten it — leaking the entry forever
+		// once the transaction ends. An upgrade withdrawal keeps its prior
+		// grant (still releasable by name) and must NOT be logged: a
+		// release record would erase the held mode from the replay's view.
+		s.logLock(nd, wal.TypeLockRelease, txn, name, mode)
+	}
+	return nil
 }
 
 // promote moves waiters to holders while the head of the queue is

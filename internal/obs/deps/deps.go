@@ -409,6 +409,14 @@ func (t *Tracker) NoteWrite(txn int64, node, line int32, slot, lsn, sim int64) {
 	}
 }
 
+// TxnRef identifies one in-flight transaction the engine knows about at a
+// crash instant: the victim list the recovery layer hands to NoteCrash so
+// the explainer's census cannot lag the engine's.
+type TxnRef struct {
+	ID   int64
+	Node int32
+}
+
 // NoteCrash folds a node-failure event into the graph: the crashed nodes'
 // cached copies vanish, the listed lines are destroyed outright (the crash
 // held their sole copies), transactions homed on crashed nodes become crash
@@ -416,12 +424,26 @@ func (t *Tracker) NoteWrite(txn int64, node, line int32, slot, lsn, sim int64) {
 // transaction against the crash-instant state. It is called from the
 // recovery layer's crash-notify hook — with the machine lock held — so it
 // must not (and does not) call back into the engine.
-func (t *Tracker) NoteCrash(crashed, lost []int32, sim int64) {
+//
+// victims is the verdict-presence barrier: the engine's own census of
+// active transactions homed on the crashed nodes, taken under its lock in
+// the same crash callback. Transaction registration normally rides the
+// KindTxnBegin observer event, which DB.Begin emits *after* releasing its
+// lock — so a crash landing in that window reaches the tracker before the
+// begin event does, the explainer issues no verdict for the victim, and the
+// cross-check later flags "recovery aborted tX.Y but explainer issued no
+// verdict". Registering the listed victims here, atomically with the
+// verdict computation, closes that window; the late begin event then finds
+// the transaction already known and is a no-op.
+func (t *Tracker) NoteCrash(crashed, lost []int32, victims []TxnRef, sim int64) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	for _, v := range victims {
+		t.ensureTxnLocked(v.ID, v.Node, sim)
+	}
 	var cmask uint64
 	for _, n := range crashed {
 		cmask |= bit(n)

@@ -21,7 +21,7 @@ func TestNilTrackerInert(t *testing.T) {
 	}
 	tr.OnEvent(ev(obs.KindMigrate, 1, 10, 5, 0))
 	tr.NoteWrite(txnID(1, 1), 1, 5, 0, 7, 10)
-	tr.NoteCrash([]int32{1}, []int32{5}, 20)
+	tr.NoteCrash([]int32{1}, []int32{5}, nil, 20)
 	tr.NoteRecovered(nil)
 	if got := tr.Verdicts(); got != nil {
 		t.Errorf("nil tracker verdicts = %v", got)
@@ -112,7 +112,7 @@ func TestDoomedSurvivorVerdict(t *testing.T) {
 	id := txnID(1, 1)
 	tr.NoteWrite(id, 1, 5, 100, 0, 10)           // unlogged (deferred logging)
 	tr.OnEvent(ev(obs.KindMigrate, 3, 20, 5, 1)) // sole copy now on node 3
-	tr.NoteCrash([]int32{3}, []int32{5}, 30)     // node 3 dies holding it
+	tr.NoteCrash([]int32{3}, []int32{5}, nil, 30)     // node 3 dies holding it
 
 	vs := tr.Verdicts()
 	if len(vs) != 1 {
@@ -137,7 +137,7 @@ func TestLoggedSurvivorLossIsCovered(t *testing.T) {
 	id := txnID(1, 1)
 	tr.NoteWrite(id, 1, 5, 100, 7, 10) // volatile log record LSN 7
 	tr.OnEvent(ev(obs.KindMigrate, 3, 20, 5, 1))
-	tr.NoteCrash([]int32{3}, []int32{5}, 30)
+	tr.NoteCrash([]int32{3}, []int32{5}, nil, 30)
 
 	vs := tr.Verdicts()
 	if len(vs) != 1 {
@@ -158,7 +158,7 @@ func TestSharedCopySurvivesNoLoss(t *testing.T) {
 	tr.NoteWrite(id, 1, 5, 100, 0, 10)
 	// Node 3 gains only a shared copy; node 1 keeps its own.
 	tr.OnEvent(ev(obs.KindDowngrade, 3, 20, 5, 1))
-	tr.NoteCrash([]int32{3}, nil, 30) // line 5 not lost: node 1 still holds it
+	tr.NoteCrash([]int32{3}, nil, nil, 30) // line 5 not lost: node 1 still holds it
 
 	vs := tr.Verdicts()
 	if len(vs) != 1 {
@@ -180,7 +180,7 @@ func TestCrashedVerdictLogCoverageCounts(t *testing.T) {
 	tr.NoteWrite(id, 2, 11, 2, 8, 11) // volatile only
 	tr.NoteWrite(id, 2, 12, 3, 0, 12) // unlogged
 	tr.OnEvent(ev(obs.KindWALForce, 2, 15, 2, 5))
-	tr.NoteCrash([]int32{2}, []int32{10, 11, 12}, 20)
+	tr.NoteCrash([]int32{2}, []int32{10, 11, 12}, nil, 20)
 
 	vs := tr.Verdicts()
 	if len(vs) != 1 {
@@ -204,7 +204,7 @@ func TestNoteRecoveredSettlesVictims(t *testing.T) {
 	committed := txnID(1, 2)
 	tr.NoteWrite(aborted, 1, 5, 1, 3, 10)
 	tr.NoteWrite(committed, 1, 6, 2, 4, 11)
-	tr.NoteCrash([]int32{1}, nil, 20)
+	tr.NoteCrash([]int32{1}, nil, nil, 20)
 	tr.NoteRecovered([]int64{aborted})
 
 	c := tr.Census()

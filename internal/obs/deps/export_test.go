@@ -27,7 +27,7 @@ func goldenTracker() *Tracker {
 	tr.OnEvent(ev(obs.KindWALForce, 1, 15, 3, 7))
 	tr.OnEvent(ev(obs.KindMigrate, 3, 20, 5, 1))
 	tr.OnEvent(ev(obs.KindDowngrade, 0, 25, 6, 2))
-	tr.NoteCrash([]int32{3}, []int32{5}, 30)
+	tr.NoteCrash([]int32{3}, []int32{5}, nil, 30)
 	return tr
 }
 

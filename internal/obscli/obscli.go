@@ -50,6 +50,12 @@ type Flags struct {
 	// keeping it here keeps the knob's spelling identical across binaries.
 	RecoverWorkers int
 
+	// GroupForce is -groupforce: epoch/group commit log forces (commits
+	// arriving within one epoch window coalesce into a single physical WAL
+	// force). Copied into recovery.Config.GroupCommitForces by every cmd;
+	// shared here for the same no-drift reason as RecoverWorkers.
+	GroupForce bool
+
 	// Record / Replay are the chaos schedule flags, shared here so the
 	// spelling cannot drift across binaries. Record is a directory recorded
 	// schedules are written under; Replay is one schedule file to re-execute
@@ -77,6 +83,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Waterfall, "waterfall", false, "per-transaction latency waterfalls with tail-sampled causal traces and live recovery progress (/slow, /recovery/progress)")
 	fs.IntVar(&f.SlowK, "slowk", 0, "slowest transactions retained per waterfall sampler window (0 = default 8)")
 	fs.IntVar(&f.RecoverWorkers, "recoverworkers", 0, "parallel restart-recovery workers (0 = sequential)")
+	fs.BoolVar(&f.GroupForce, "groupforce", false, "epoch/group commit log forces: commits in one epoch window share a single physical WAL force")
 	fs.StringVar(&f.Record, "record", "", "record chaos schedules (one JSON per seed) under this directory")
 	fs.StringVar(&f.Replay, "replay", "", "replay a recorded chaos schedule file deterministically")
 	return f

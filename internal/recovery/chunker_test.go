@@ -1,0 +1,139 @@
+package recovery
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkPartition asserts the chunks tile [0, n) exactly: contiguous,
+// in order, each non-empty.
+func checkPartition(t *testing.T, chunks []chunk, n int) {
+	t.Helper()
+	next := 0
+	for i, c := range chunks {
+		if c.lo != next {
+			t.Fatalf("chunk %d starts at %d, want %d (chunks %v)", i, c.lo, next, chunks)
+		}
+		if c.hi <= c.lo {
+			t.Fatalf("chunk %d is empty or inverted: %v", i, c)
+		}
+		next = c.hi
+	}
+	if next != n {
+		t.Fatalf("chunks cover [0,%d), want [0,%d): %v", next, n, chunks)
+	}
+}
+
+// TestBalanceChunksPartition sweeps sizes, worker counts, and grains: every
+// output must be an exact ordered partition of the index space with at most
+// workers*grain (or n) chunks.
+func TestBalanceChunksPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2, 3, 7, 8, 64, 257} {
+		for _, workers := range []int{1, 2, 4, 13} {
+			for _, grain := range []int{0, 1, 4, 16} {
+				weights := make([]int, n)
+				for i := range weights {
+					weights[i] = rng.Intn(100)
+				}
+				for _, weight := range []func(int) int{nil, func(i int) int { return weights[i] }} {
+					chunks := balanceChunks(n, workers, grain, weight)
+					checkPartition(t, chunks, n)
+					g := grain
+					if g <= 0 {
+						g = defaultStealGrain
+					}
+					max := workers * g
+					if max > n {
+						max = n
+					}
+					if len(chunks) > max {
+						t.Errorf("n=%d workers=%d grain=%d: %d chunks, want <= %d",
+							n, workers, grain, len(chunks), max)
+					}
+				}
+			}
+		}
+	}
+	if got := balanceChunks(0, 4, 0, nil); got != nil {
+		t.Errorf("n=0: got %v, want nil", got)
+	}
+}
+
+// TestBalanceChunksDeterministic pins the property the equivalence gate
+// leans on: identical inputs produce identical cut points, call after call.
+func TestBalanceChunksDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := make([]int, 113)
+	for i := range weights {
+		weights[i] = rng.Intn(1000)
+	}
+	w := func(i int) int { return weights[i] }
+	for _, grain := range []int{-1, 0, 2, 8} {
+		a := balanceChunks(len(weights), 4, grain, w)
+		b := balanceChunks(len(weights), 4, grain, w)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("grain=%d: two calls disagree:\n  %v\n  %v", grain, a, b)
+		}
+	}
+}
+
+// TestBalanceChunksPerItem: grain == -1 is the legacy one-task-per-chunk
+// dispatch, kept for the E23 A/B — weights must not change it.
+func TestBalanceChunksPerItem(t *testing.T) {
+	chunks := balanceChunks(9, 4, -1, func(i int) int { return i * 50 })
+	if len(chunks) != 9 {
+		t.Fatalf("grain=-1: %d chunks, want 9", len(chunks))
+	}
+	for i, c := range chunks {
+		if c.lo != i || c.hi != i+1 {
+			t.Errorf("chunk %d = %v, want {%d,%d}", i, c, i, i+1)
+		}
+	}
+}
+
+// TestBalanceChunksWeightBalance: under a heavily skewed weight vector the
+// greedy cut must keep every chunk within one max-task of the running
+// average — the bound that guarantees no single steal dominates the tail.
+func TestBalanceChunksWeightBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n, workers := 200, 4
+	weights := make([]int, n)
+	total, maxW := 0, 0
+	for i := range weights {
+		w := rng.Intn(10)
+		if rng.Intn(20) == 0 {
+			w = 500 + rng.Intn(500) // occasional whales
+		}
+		weights[i] = w
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	chunks := balanceChunks(n, workers, 0, func(i int) int { return weights[i] })
+	checkPartition(t, chunks, n)
+	ideal := total / (workers * defaultStealGrain)
+	bound := ideal + maxW
+	for _, c := range chunks {
+		cw := 0
+		for i := c.lo; i < c.hi; i++ {
+			cw += weights[i]
+		}
+		if cw > bound {
+			t.Errorf("chunk %v weight %d exceeds ideal+max bound %d (ideal %d, max task %d)",
+				c, cw, bound, ideal, maxW)
+		}
+	}
+}
+
+// TestBalanceChunksZeroWeights: an all-zero weight vector must fall back to
+// even index ranges rather than one giant chunk.
+func TestBalanceChunksZeroWeights(t *testing.T) {
+	chunks := balanceChunks(64, 4, 0, func(int) int { return 0 })
+	checkPartition(t, chunks, 64)
+	if len(chunks) < 4 {
+		t.Errorf("all-zero weights collapsed to %d chunks: %v", len(chunks), chunks)
+	}
+}

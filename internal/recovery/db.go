@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smdb/internal/buffer"
 	"smdb/internal/fault"
@@ -52,6 +53,22 @@ type Config struct {
 	// the Redo/Undo counters are identical at every setting; only wall
 	// clock (and the incidental simulated interleaving) changes.
 	RecoveryWorkers int
+	// RecoveryStealGrain tunes the work-stealing chunker of the parallel
+	// phases: the number of chunks per worker the size balancer targets.
+	// 0 means the default (4). -1 restores the pre-chunking one-task-per-
+	// handout dispatch, kept for A/B attribution (experiment E23).
+	RecoveryStealGrain int
+	// GroupCommitForces enables epoch/group log forces: commit records
+	// arriving within one epoch window coalesce into a single physical
+	// Force per log (wal.Log.ForceGroup), with a group-commit leader and
+	// follower wakeup. Durability is unchanged — a commit still only
+	// acknowledges once its own record is stable.
+	GroupCommitForces bool
+	// GroupCommitWindow is the epoch leader's host-time collection wait
+	// (default 200µs when GroupCommitForces is set). Ignored whenever a
+	// chaos record/replay session is attached: the window then collapses
+	// to one deterministic scheduler point per epoch.
+	GroupCommitWindow time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -66,6 +83,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.LockTableLines == 0 {
 		c.LockTableLines = 512
+	}
+	if c.GroupCommitForces && c.GroupCommitWindow == 0 {
+		c.GroupCommitWindow = 200 * time.Microsecond
 	}
 }
 
@@ -148,6 +168,11 @@ type Stats struct {
 	// counts forces performed to satisfy Stable LBM (eager or triggered);
 	// NTAForces counts early-commit forces of structural changes.
 	CommitForces, LBMForces, NTAForces int64
+	// GroupCommitJoins counts commits whose force was satisfied by another
+	// commit's epoch/group force (waited for a leader, or found their
+	// record already stable on arrival). The physical forces they rode are
+	// in CommitForces, charged to their leaders.
+	GroupCommitJoins int64
 	// TagWrites counts undo-tag stores (Table 1's Undo Tagging overhead);
 	// TagClears counts commit/abort-time tag clears.
 	TagWrites, TagClears int64
@@ -173,6 +198,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Commits:               s.Commits - prev.Commits,
 		Aborts:                s.Aborts - prev.Aborts,
 		CommitForces:          s.CommitForces - prev.CommitForces,
+		GroupCommitJoins:      s.GroupCommitJoins - prev.GroupCommitJoins,
 		LBMForces:             s.LBMForces - prev.LBMForces,
 		NTAForces:             s.NTAForces - prev.NTAForces,
 		TagWrites:             s.TagWrites - prev.TagWrites,
@@ -255,6 +281,12 @@ type DB struct {
 	// disabled); see AttachWaterfall. An atomic pointer because the hot
 	// paths (Update, Read, Commit) consult it outside db.mu.
 	wfp atomic.Pointer[waterfall.Recorder]
+	// arenas are the per-worker-slot reusable recovery scratch buffers
+	// (see recArena): slot w belongs to fan-out worker slot w, slot 0 to
+	// the sequential paths. Sized once at New from RecoveryWorkers, reused
+	// explicitly across phases and Recover calls — no sync.Pool, so buffer
+	// placement never depends on GC timing and replay stays deterministic.
+	arenas []recArena
 }
 
 type committedImage struct {
@@ -303,6 +335,16 @@ func New(cfg Config) (*DB, error) {
 		pendingLSN: make([]wal.LSN, m.Nodes()),
 	}
 	db.BM.NVRAMLog = cfg.NVRAMLog
+	slots := cfg.RecoveryWorkers
+	if slots < 1 {
+		slots = 1
+	}
+	db.arenas = make([]recArena, slots)
+	if cfg.GroupCommitForces {
+		for _, l := range logs {
+			l.EnableGroupForce(cfg.GroupCommitWindow, nil)
+		}
+	}
 	if cfg.Protocol == StableTriggered {
 		m.SetPreTransition(db.lbmTrigger)
 	}
@@ -336,12 +378,30 @@ func (db *DB) AttachSched(s *sched.Session) {
 		db.schedp.Store(nil)
 		db.BM.SetFetchHook(nil)
 		db.M.SetSchedNote(nil)
+		if db.Cfg.GroupCommitForces {
+			// Back to host-time epoch windows.
+			for _, l := range db.Logs {
+				l.SetGroupYield(nil)
+			}
+		}
 		return
 	}
 	db.schedp.Store(s)
 	db.BM.SetFetchHook(func(nd machine.NodeID, p storage.PageID) {
 		s.Point(int32(nd), sched.SiteFetch, int64(p))
 	})
+	if db.Cfg.GroupCommitForces {
+		// A host-time epoch window would make the set of stable commit
+		// records at a crash instant depend on scheduling; under a session
+		// every group-force wait becomes one recorded point instead, so the
+		// coalescing decisions replay exactly.
+		for _, l := range db.Logs {
+			nd := l.Node()
+			l.SetGroupYield(func() {
+				s.Point(int32(nd), sched.SiteGroupForce, 0)
+			})
+		}
+	}
 	if s.Recording() {
 		db.M.SetSchedNote(func(nd machine.NodeID, site string, l machine.LineID) {
 			s.Note(int32(nd), site, int64(l))
@@ -594,7 +654,9 @@ func (db *DB) bump(f func(*Stats)) {
 // NextVersion returns a fresh global update version. (On real hardware this
 // is a fetch-and-add on a dedicated shared line; its cost is folded into the
 // update's local work.)
-func (db *DB) NextVersion() uint64 { return db.versions.Add(1) }
+func (db *DB) NextVersion() uint64 {
+	return db.versions.Add(1)
+}
 
 // Frozen reports whether the system is between a crash and the completion
 // of restart recovery, during which transaction processing stalls.

@@ -7,6 +7,7 @@ import (
 	"smdb/internal/fault"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/deps"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
 )
@@ -79,12 +80,20 @@ func (db *DB) noteCrash(rep machine.CrashReport) {
 		db.Logs[n].Crash()
 		db.BM.DropNode(n)
 	}
+	// Collect the newly crash-victimized transactions while marking them:
+	// the dependency tracker needs the engine's own victim census (see the
+	// verdict-presence barrier in deps.NoteCrash) — its usual registration
+	// path, the KindTxnBegin event, is emitted outside db.mu and can lose
+	// the race against a crash landing right after Begin registered the
+	// transaction here.
+	var victims []deps.TxnRef
 	db.mu.Lock()
 	for _, st := range db.txns {
 		if st.status == TxnActive && !st.crashed {
 			for _, n := range rep.Crashed {
 				if st.id.Node() == n {
 					st.crashed = true
+					victims = append(victims, deps.TxnRef{ID: int64(st.id), Node: int32(n)})
 				}
 			}
 		}
@@ -108,7 +117,7 @@ func (db *DB) noteCrash(rep machine.CrashReport) {
 			lost[i] = int32(l)
 		}
 		now := db.M.MaxClock()
-		dt.NoteCrash(crashed, lost, now)
+		dt.NoteCrash(crashed, lost, victims, now)
 		au.NoteCrash(crashed, lost, now)
 	}
 	if fl != nil {

@@ -106,7 +106,7 @@ func (db *DB) CommitGlobal(g GlobalID) error {
 	// stable commit record but an aborted sibling is repaired by the
 	// global-abort pass below).
 	for _, t := range branches {
-		if err := db.forceThroughTxn(t.Node(), t, lsns[t], func(s *Stats) { s.CommitForces++ }); err != nil {
+		if err := db.forceCommit(t.Node(), t, lsns[t]); err != nil {
 			return fmt.Errorf("recovery: global commit %d: %w", g, err)
 		}
 		if lsns[t] == 0 || db.Logs[t.Node()].ForcedLSN() < lsns[t] {

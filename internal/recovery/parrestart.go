@@ -35,13 +35,31 @@ type ParPhase struct {
 	Wall   time.Duration
 }
 
-// forEachPar runs f(0..n-1) across at most workers goroutines, records the
-// fan-out under phase in rep.ParPhases, and returns the lowest-index error
-// (so the surfaced error does not depend on scheduling). Tasks are handed
-// out by an atomic counter; every task runs exactly once even after another
+// forEachPar runs f(0..n-1) with unit chunk weights and no worker-slot
+// awareness — the compatibility wrapper over forEachChunk for fan-outs whose
+// tasks are roughly even or too few to matter.
+func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f func(i int, tm *prof.TaskMeter) error) error {
+	return db.forEachChunk(rep, phase, n, workers, nil, func(i, _ int, tm *prof.TaskMeter) error {
+		return f(i, tm)
+	})
+}
+
+// forEachChunk runs f(0..n-1) across at most workers goroutines with
+// dynamic chunked work-stealing: the index space is pre-cut into contiguous
+// weight-balanced chunks (see balanceChunks; weight may be nil for unit
+// weights), and workers claim whole chunks through one atomic cursor until
+// the queue drains. The fan-out is recorded under phase in rep.ParPhases,
+// and the lowest-index error is returned (so the surfaced error does not
+// depend on scheduling). Every task runs exactly once even after another
 // task fails — recovery tasks are idempotent and a retrying Recover would
-// repeat them anyway, so draining is simpler than cancellation and keeps the
-// shard-merge logic unconditional.
+// repeat them anyway, so draining is simpler than cancellation and keeps
+// the shard-merge logic unconditional.
+//
+// f receives the task index i and the claiming worker's slot w (0 <=
+// w < workers, stable for that goroutine) so tasks can use per-worker
+// scratch arenas without locking; which worker runs which task is the one
+// scheduling-dependent input, so f must never let w influence results —
+// only placement of reusable scratch.
 //
 // With a profiler attached, each worker owns a TaskMeter: task busy time is
 // measured around every f call, and tasks report records/bytes through the
@@ -51,7 +69,7 @@ type ParPhase struct {
 // attached; when one is, the whole loop is attributed as a one-worker
 // fan-out so sequential runs produce the same busy accounting shape the
 // parallel pipeline does.
-func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f func(i int, tm *prof.TaskMeter) error) error {
+func (db *DB) forEachChunk(rep *RecoveryReport, phase obs.Phase, n, workers int, weight func(int) int, f func(i, w int, tm *prof.TaskMeter) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -59,7 +77,7 @@ func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f
 	if workers <= 1 {
 		if wp == nil {
 			for i := 0; i < n; i++ {
-				if err := f(i, nil); err != nil {
+				if err := f(i, 0, nil); err != nil {
 					return err
 				}
 			}
@@ -70,7 +88,7 @@ func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f
 		var ferr error
 		for i := 0; i < n; i++ {
 			t0 := prof.Now()
-			err := f(i, &meters[0])
+			err := f(i, 0, &meters[0])
 			meters[0].AddTask(prof.Now() - t0)
 			if err != nil {
 				ferr = err
@@ -81,6 +99,7 @@ func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f
 		return ferr
 	}
 	start := time.Now()
+	chunks := balanceChunks(n, workers, db.Cfg.RecoveryStealGrain, weight)
 	errs := make([]error, n)
 	var meters []prof.TaskMeter
 	if wp != nil {
@@ -97,16 +116,18 @@ func (db *DB) forEachPar(rep *RecoveryReport, phase obs.Phase, n, workers int, f
 				tm = &meters[w]
 			}
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				ci := int(next.Add(1)) - 1
+				if ci >= len(chunks) {
 					return
 				}
-				if tm != nil {
-					t0 := prof.Now()
-					errs[i] = f(i, tm)
-					tm.AddTask(prof.Now() - t0)
-				} else {
-					errs[i] = f(i, nil)
+				for i := chunks[ci].lo; i < chunks[ci].hi; i++ {
+					if tm != nil {
+						t0 := prof.Now()
+						errs[i] = f(i, w, tm)
+						tm.AddTask(prof.Now() - t0)
+					} else {
+						errs[i] = f(i, w, nil)
+					}
 				}
 			}
 		}(w)
@@ -146,11 +167,13 @@ func (db *DB) recordFanout(wp *prof.WorkerProf, phase obs.Phase, workers int, wa
 // flushAllCachesPar discards every surviving node's cached database lines,
 // one DiscardAll sweep per node, fanned out across the workers (Redo All
 // step 1; nodes' discard sets are disjoint except for shared lines, which
-// DiscardAll drops per-holder under the line's stripe).
+// DiscardAll drops per-holder under the line's stripe). Chunks are weighted
+// by cached-line counts so one hot node's sweep does not strand the rest.
 func (db *DB) flushAllCachesPar(alive []machine.NodeID, rep *RecoveryReport, w int) {
 	lineSize := db.M.LineSize()
-	// DiscardAll cannot fail; forEachPar's error is structurally nil.
-	_ = db.forEachPar(rep, obs.PhaseRedoScan, len(alive), w, func(i int, tm *prof.TaskMeter) error {
+	weight := func(i int) int { return db.M.CachedLineCount(alive[i]) }
+	// DiscardAll cannot fail; forEachChunk's error is structurally nil.
+	_ = db.forEachChunk(rep, obs.PhaseRedoScan, len(alive), w, weight, func(i, _ int, tm *prof.TaskMeter) error {
 		dropped := db.M.DiscardAll(alive[i], db.Store.Contains)
 		if tm != nil {
 			tm.AddRecords(dropped)
@@ -161,14 +184,15 @@ func (db *DB) flushAllCachesPar(alive []machine.NodeID, rep *RecoveryReport, w i
 }
 
 // collectRedoPar is the parallel redo scan: one goroutine per node's log,
-// with the per-node candidate lists concatenated in node order — exactly the
-// sequential scan's output.
+// weighted by log length, with the per-node candidate lists concatenated in
+// node order — exactly the sequential scan's output.
 func (db *DB) collectRedoPar(alive []machine.NodeID, rep *RecoveryReport, w int) ([]redoCand, error) {
 	coord := alive[0]
 	n := db.M.Nodes()
 	parts := make([][]redoCand, n)
-	err := db.forEachPar(rep, obs.PhaseRedoScan, n, w, func(i int, tm *prof.TaskMeter) error {
-		part, err := db.collectRedoNode(machine.NodeID(i), coord)
+	weight := func(i int) int { return db.Logs[i].Len() }
+	err := db.forEachChunk(rep, obs.PhaseRedoScan, n, w, weight, func(i, ws int, tm *prof.TaskMeter) error {
+		part, err := db.collectRedoNode(machine.NodeID(i), coord, db.arena(ws))
 		parts[i] = part
 		if tm != nil {
 			tm.AddRecords(len(part))
@@ -229,10 +253,12 @@ func pageBuckets(cands []redoCand) [][]redoCand {
 
 // probeRedoPar probes residency page-bucket-parallel: all of one page's
 // candidates (hence all of its lines and its one header line) belong to one
-// worker, so concurrent workers fetch disjoint pages.
+// worker, so concurrent workers fetch disjoint pages. Chunks are weighted by
+// bucket size — the hot page's bucket dominated the old per-bucket handout.
 func (db *DB) probeRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 	buckets := pageBuckets(cands)
-	return db.forEachPar(rep, obs.PhaseProbe, len(buckets), w, func(i int, tm *prof.TaskMeter) error {
+	weight := func(i int) int { return len(buckets[i]) }
+	return db.forEachChunk(rep, obs.PhaseProbe, len(buckets), w, weight, func(i, _ int, tm *prof.TaskMeter) error {
 		tm.AddRecords(len(buckets[i]))
 		return db.probeRedoSlice(buckets[i])
 	})
@@ -241,11 +267,14 @@ func (db *DB) probeRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 // applyRedoPar applies redo page-bucket-parallel with per-bucket counter
 // shards, merged in bucket order: same-page candidates keep their list order,
 // so every version-check decision — and therefore RedoApplied/RedoSkipped —
-// matches the sequential pipeline exactly.
+// matches the sequential pipeline exactly. Each worker slot applies through
+// its own reusable arena (run carving + tag scratch), and chunks are
+// weighted by bucket size.
 func (db *DB) applyRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 	buckets := pageBuckets(cands)
 	shards := make([]RecoveryReport, len(buckets))
-	err := db.forEachPar(rep, obs.PhaseRedoApply, len(buckets), w, func(i int, tm *prof.TaskMeter) error {
+	weight := func(i int) int { return len(buckets[i]) }
+	err := db.forEachChunk(rep, obs.PhaseRedoApply, len(buckets), w, weight, func(i, ws int, tm *prof.TaskMeter) error {
 		if tm != nil {
 			tm.AddRecords(len(buckets[i]))
 			b := 0
@@ -254,13 +283,7 @@ func (db *DB) applyRedoPar(cands []redoCand, rep *RecoveryReport, w int) error {
 			}
 			tm.AddBytes(b)
 		}
-		for _, c := range buckets[i] {
-			rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
-			if err := db.redoRecord(c.onto, c.rec, rid, &shards[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return db.applyRedoSlice(buckets[i], &shards[i], db.arena(ws))
 	})
 	mergeStart := profMergeStart(db)
 	for i := range shards {
@@ -287,7 +310,8 @@ func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryRepor
 	// Tagger indexes for every survivor up front: the scans below read them
 	// concurrently, so the lazy build of the sequential path would race.
 	idx := make([]map[slotVer]wal.TxnID, db.M.Nodes())
-	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int, tm *prof.TaskMeter) error {
+	logWeight := func(i int) int { return db.Logs[alive[i]].Len() }
+	if err := db.forEachChunk(rep, obs.PhaseUndoTagScan, len(alive), w, logWeight, func(i, _ int, tm *prof.TaskMeter) error {
 		idx[alive[i]] = db.buildTaggerIndex(alive[i])
 		tm.AddRecords(len(idx[alive[i]]))
 		return nil
@@ -297,7 +321,8 @@ func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryRepor
 	taggerIndex := func(n machine.NodeID) map[slotVer]wal.TxnID { return idx[n] }
 	acts := make([][]tagAction, len(alive))
 	lines := make([]int, len(alive))
-	if err := db.forEachPar(rep, obs.PhaseUndoTagScan, len(alive), w, func(i int, tm *prof.TaskMeter) error {
+	cacheWeight := func(i int) int { return db.M.CachedLineCount(alive[i]) }
+	if err := db.forEachChunk(rep, obs.PhaseUndoTagScan, len(alive), w, cacheWeight, func(i, _ int, tm *prof.TaskMeter) error {
 		a, l, err := db.scanNodeTags(alive[i], down, taggerIndex)
 		acts[i], lines[i] = a, l
 		tm.AddRecords(l)
@@ -329,7 +354,8 @@ func (db *DB) undoTagScanPar(alive, crashed []machine.NodeID, rep *RecoveryRepor
 // the log-suppression latch.
 func (db *DB) replaySurvivorLocksPar(alive []machine.NodeID, rep *RecoveryReport, w int) (int, error) {
 	counts := make([]int, len(alive))
-	err := db.forEachPar(rep, obs.PhaseLockRebuild, len(alive), w, func(i int, tm *prof.TaskMeter) error {
+	weight := func(i int) int { return db.Logs[alive[i]].Len() }
+	err := db.forEachChunk(rep, obs.PhaseLockRebuild, len(alive), w, weight, func(i, _ int, tm *prof.TaskMeter) error {
 		n, err := db.replayNodeLocks(alive[i])
 		counts[i] = n
 		tm.AddRecords(n)

@@ -44,9 +44,9 @@ const (
 // the first wave's victims restarted in between, exercise the
 // restarted-node redo filter (a revived log carrying updates of transactions
 // an earlier recovery settled as dead) on top of the single-crash paths.
-func runEqScenario(t *testing.T, proto recovery.Protocol, seed int64, workers int) string {
+func runEqScenario(t *testing.T, proto recovery.Protocol, seed int64, workers int, opts ...func(*recovery.Config)) string {
 	t.Helper()
-	db, err := recovery.New(recovery.Config{
+	cfg := recovery.Config{
 		Machine:         machine.Config{Nodes: eqNodes, Lines: 4096},
 		Protocol:        proto,
 		LinesPerPage:    4,
@@ -54,7 +54,11 @@ func runEqScenario(t *testing.T, proto recovery.Protocol, seed int64, workers in
 		Pages:           eqPages,
 		LockTableLines:  128,
 		RecoveryWorkers: workers,
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	db, err := recovery.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +151,42 @@ func TestParallelRecoveryEquivalence(t *testing.T) {
 				if seq != par {
 					t.Errorf("seed %d: sequential and parallel recovery diverge\n--- sequential ---\n%s--- parallel(4) ---\n%s",
 						seed, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRecoveryEquivalenceVariants re-runs the gate under the PR-9
+// performance machinery: epoch/group commit forces during the workload, and
+// the steal grain at both extremes (per-item dispatch vs. coarse chunks).
+// Each variant compares sequential against parallel under the *same* config —
+// group forces legitimately change which records are stable at the crash, so
+// cross-config fingerprints are not comparable, but seq/par within a config
+// must still be bit-identical.
+func TestParallelRecoveryEquivalenceVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		opt  func(*recovery.Config)
+	}{
+		{"groupforce", func(c *recovery.Config) { c.GroupCommitForces = true }},
+		{"grain-peritem", func(c *recovery.Config) { c.RecoveryStealGrain = -1 }},
+		{"grain-coarse", func(c *recovery.Config) { c.RecoveryStealGrain = 1 }},
+		{"groupforce+grain", func(c *recovery.Config) {
+			c.GroupCommitForces = true
+			c.RecoveryStealGrain = -1
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				seq := runEqScenario(t, recovery.VolatileSelectiveRedo, seed, 0, v.opt)
+				par := runEqScenario(t, recovery.VolatileSelectiveRedo, seed, 4, v.opt)
+				if seq != par {
+					t.Errorf("seed %d: sequential and parallel recovery diverge under %s\n--- sequential ---\n%s--- parallel(4) ---\n%s",
+						seed, v.name, seq, par)
 				}
 			}
 		})

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"smdb/internal/heap"
+	"smdb/internal/lock"
 	"smdb/internal/machine"
 	"smdb/internal/recovery"
 	"smdb/internal/storage"
@@ -424,6 +425,77 @@ func TestLockSpaceAcrossCrash(t *testing.T) {
 				t.Fatalf("survivor blocked by dead transaction's lock: %v", err)
 			}
 			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCanceledWaitNotResurrected: a queued lock request that was withdrawn
+// with CancelWait before a crash must not come back as a grant after
+// recovery. The acquire is logged before the grant decision, so the lock
+// log alone over-approximates what was held; a replay that trusted it
+// would re-grant the lock to a transaction that never knew it held it —
+// nothing would ever release it, and every later waiter would wedge with
+// no waits-for cycle to break.
+func TestCanceledWaitNotResurrected(t *testing.T) {
+	rid := heap.RID{Page: 3, Slot: 1}
+	for _, proto := range ifaProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			db, mgr := newDB(t, proto, 2)
+			seed(t, mgr, []heap.RID{rid}, 1)
+			tx, _ := mgr.Begin(0)
+			ty, _ := mgr.Begin(1)
+			if err := tx.Write(rid, []byte{7}); err != nil {
+				t.Fatal(err)
+			}
+			name := lock.NameOfRID(rid)
+			// ty queues behind tx's exclusive lock, then gives up the wait
+			// (the deadlock-victim path) without aborting.
+			granted, err := db.Locks.Acquire(1, ty.ID(), name, lock.Exclusive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if granted {
+				t.Fatal("conflicting acquire granted immediately")
+			}
+			if err := db.Locks.CancelWait(1, ty.ID(), name); err != nil {
+				t.Fatal(err)
+			}
+			db.Crash(0)
+			if _, err := db.Recover([]machine.NodeID{0}); err != nil {
+				t.Fatal(err)
+			}
+			if _, held, err := db.Locks.Holds(1, ty.ID(), name); err != nil {
+				t.Fatal(err)
+			} else if held {
+				t.Fatal("canceled wait resurrected as a grant by lock replay")
+			}
+			snap, err := db.Locks.Snapshot(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ls := range snap {
+				if ls.Name != name {
+					continue
+				}
+				for _, e := range append(ls.Holders, ls.Waiters...) {
+					if e.Txn == ty.ID() {
+						t.Fatalf("withdrawn request survives in lock space: %+v", ls)
+					}
+				}
+			}
+			mustCheckIFA(t, db, 1)
+			if err := ty.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// The record must be freely lockable afterwards — a leaked entry
+			// here is exactly the chaos-suite wedge.
+			tz, _ := mgr.Begin(1)
+			if err := txn.Retry(func() error { return tz.Write(rid, []byte{9}) }); err != nil {
+				t.Fatalf("record wedged after recovery: %v", err)
+			}
+			if err := tz.Commit(); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -595,7 +596,7 @@ func (db *DB) collectRedo(alive []machine.NodeID, rep *RecoveryReport) ([]redoCa
 	coord := alive[0]
 	var cands []redoCand
 	for n := machine.NodeID(0); int(n) < db.M.Nodes(); n++ {
-		part, err := db.collectRedoNode(n, coord)
+		part, err := db.collectRedoNode(n, coord, db.arena(0))
 		if err != nil {
 			return nil, err
 		}
@@ -605,8 +606,9 @@ func (db *DB) collectRedo(alive []machine.NodeID, rep *RecoveryReport) ([]redoCa
 }
 
 // collectRedoNode gathers one node's redo candidates (the per-log unit the
-// parallel scan fans out over; candidates come back in log order).
-func (db *DB) collectRedoNode(n, coord machine.NodeID) ([]redoCand, error) {
+// parallel scan fans out over; candidates come back in log order). ar
+// provides the reusable dead-check scratch buffer.
+func (db *DB) collectRedoNode(n, coord machine.NodeID, ar *recArena) ([]redoCand, error) {
 	isDown := !db.M.Alive(n)
 	v, err := db.view(n, isDown)
 	if err != nil {
@@ -622,7 +624,7 @@ func (db *DB) collectRedoNode(n, coord machine.NodeID) ([]redoCand, error) {
 	// (Checkpoint holds db.mu while calling into the log, so a scan callback
 	// taking db.mu inverts the order); collect the candidate positions here
 	// and filter after the scan releases the log mutex.
-	var deadChecks []int
+	deadChecks := ar.deadChecks[:0]
 	v.scanFromCkpt(func(rec wal.Record) bool {
 		if rec.Type != wal.TypeUpdate && rec.Type != wal.TypeCLR {
 			return true
@@ -642,6 +644,7 @@ func (db *DB) collectRedoNode(n, coord machine.NodeID) ([]redoCand, error) {
 		return true
 	})
 	db.wfProgress().Note(obs.PhaseRedoScan.String(), len(cands), 0)
+	ar.deadChecks = deadChecks // keep the grown buffer for the next node
 	if len(deadChecks) > 0 {
 		// A restarted node's log can still carry updates of a transaction
 		// that died with an earlier crash. If that crash also destroyed the
@@ -702,22 +705,17 @@ func (db *DB) probeRedoSlice(cands []redoCand) error {
 }
 
 // applyRedo is the redo apply phase: version-checked, idempotent replay of
-// the candidate list. The parallel path partitions candidates by page —
-// same-page candidates keep their list order (same-slot version decisions
-// depend only on same-slot order, and a slot lives on exactly one page),
-// cross-page order is free because redo is per-object idempotent — so the
-// Redo counters and final images are identical at every worker count.
+// the candidate list, batched into same-line runs (see redobatch.go). The
+// parallel path partitions candidates by page — same-page candidates keep
+// their list order (same-slot version decisions depend only on same-slot
+// order, and a slot lives on exactly one page), cross-page order is free
+// because redo is per-object idempotent — so the Redo counters and final
+// images are identical at every worker count.
 func (db *DB) applyRedo(cands []redoCand, rep *RecoveryReport) error {
 	if w := db.parWorkers(); w > 1 {
 		return db.applyRedoPar(cands, rep, w)
 	}
-	for _, c := range cands {
-		rid := heap.RID{Page: c.rec.Page, Slot: c.rec.Slot}
-		if err := db.redoRecord(c.onto, c.rec, rid, rep); err != nil {
-			return err
-		}
-	}
-	return nil
+	return db.applyRedoSlice(cands, rep, db.arena(0))
 }
 
 // redoLog replays one log view's post-checkpoint records on behalf of node
@@ -848,8 +846,29 @@ func (db *DB) undoCrashed(coord machine.NodeID, crashed []machine.NodeID, rep *R
 			su.versions[rec.Version] = true
 			return true
 		})
-		for txn, m := range undoByTxn {
-			for rid, su := range m {
+		// Install in sorted (txn, rid) order: each installImage draws a
+		// fresh global version for its compensation record, so map-order
+		// iteration would assign versions to slots differently run to run
+		// and break chaos replay's image comparison.
+		txns := make([]wal.TxnID, 0, len(undoByTxn))
+		for txn := range undoByTxn {
+			txns = append(txns, txn)
+		}
+		sortTxns(txns)
+		for _, txn := range txns {
+			m := undoByTxn[txn]
+			rids := make([]heap.RID, 0, len(m))
+			for rid := range m {
+				rids = append(rids, rid)
+			}
+			sort.Slice(rids, func(i, j int) bool {
+				if rids[i].Page != rids[j].Page {
+					return rids[i].Page < rids[j].Page
+				}
+				return rids[i].Slot < rids[j].Slot
+			})
+			for _, rid := range rids {
+				su := m[rid]
 				cur, err := db.Read(coord, rid)
 				if err != nil {
 					return nil, err
@@ -1126,7 +1145,7 @@ func (db *DB) replayNodeLocks(n machine.NodeID) (int, error) {
 		txn  wal.TxnID
 		name uint64
 	}
-	held := make(map[lockKey]uint8)
+	held := make(map[lockKey]bool)
 	order := []lockKey{}
 	db.Logs[n].Scan(1, func(rec wal.Record) bool {
 		k := lockKey{rec.Txn, rec.Lock}
@@ -1135,7 +1154,7 @@ func (db *DB) replayNodeLocks(n machine.NodeID) (int, error) {
 			if _, ok := held[k]; !ok {
 				order = append(order, k)
 			}
-			held[k] = rec.Mode
+			held[k] = true
 		case wal.TypeLockRelease:
 			delete(held, k)
 		}
@@ -1143,19 +1162,59 @@ func (db *DB) replayNodeLocks(n machine.NodeID) (int, error) {
 	})
 	replayed := 0
 	for _, k := range order {
-		mode, ok := held[k]
-		if !ok {
+		if _, ok := held[k]; !ok {
 			continue
 		}
+		// Re-grant only what the transaction's own bookkeeping confirms it
+		// holds, in the bookkeeping's mode. The log alone over-approximates:
+		// an acquire record is written before the grant decision, so it may
+		// belong to a request that was only ever queued — and possibly
+		// withdrawn during this very recovery, when lock logging is
+		// suppressed and no release record can mark the withdrawal. A
+		// never-granted request is absent from the transaction's held-lock
+		// list, so releaseAll would never free a re-grant built from it: the
+		// entry would outlive the transaction and wedge every later waiter
+		// (no waits-for cycle; the holder is gone). Entries the bookkeeping
+		// does confirm are exactly the ones releaseAll frees at finish, so a
+		// survivor finishing after this point cleans up behind us. Dropping
+		// a genuine waiter here is safe: its retry loop re-queues the
+		// request against the rebuilt table.
 		db.mu.Lock()
 		st, known := db.txns[k.txn]
 		active := known && st.status == TxnActive && !st.crashed
+		var mode lock.Mode
+		noted := false
+		if active {
+			for _, hl := range st.locks {
+				if hl.name == importName(k.name) {
+					mode, noted = hl.mode, true
+					break
+				}
+			}
+		}
 		db.mu.Unlock()
-		if !active {
+		if !active || !noted {
 			continue
 		}
-		if _, err := db.Locks.Acquire(n, k.txn, importName(k.name), importMode(mode)); err != nil {
+		if _, err := db.Locks.Acquire(n, k.txn, importName(k.name), mode); err != nil {
 			return replayed, err
+		}
+		// The transaction can still commit or abort between the bookkeeping
+		// check above and the grant: its releaseAll then ran against the
+		// half-rebuilt table, found nothing, and tolerated ErrNotHeld — so
+		// the grant would leak. Re-check and take the grant back if the
+		// transaction finished in the window; a finish after this re-check
+		// sees the granted entry (it is in its held-lock list) and releases
+		// it itself.
+		db.mu.Lock()
+		st, known = db.txns[k.txn]
+		active = known && st.status == TxnActive && !st.crashed
+		db.mu.Unlock()
+		if !active {
+			if err := db.Locks.Release(n, k.txn, importName(k.name)); err != nil && !errors.Is(err, lock.ErrNotHeld) {
+				return replayed, err
+			}
+			continue
 		}
 		replayed++
 	}
@@ -1246,4 +1305,3 @@ func sortTxns(ts []wal.TxnID) {
 }
 
 func importName(n uint64) lock.Name { return lock.Name(n) }
-func importMode(m uint8) lock.Mode  { return lock.Mode(m) }

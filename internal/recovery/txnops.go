@@ -28,6 +28,51 @@ func (db *DB) forceThroughTxn(nd machine.NodeID, t wal.TxnID, lsn wal.LSN, bump 
 	return err
 }
 
+// forceCommit makes t's commit record at lsn stable. With group commit
+// forces off it is forceThroughTxn; with them on, the force runs through
+// the WAL's epoch/group path: the epoch leader pays the physical force (and
+// the CommitForces stat) while followers and already-covered arrivals ride
+// a shared force, counted as GroupCommitJoins. Torn-force injection applies
+// identically — a group force is still one physical device write a crash
+// can tear. Callers must still re-check ForcedLSN before acknowledging the
+// commit: a down log yields a zero group result, not an error.
+func (db *DB) forceCommit(nd machine.NodeID, t wal.TxnID, lsn wal.LSN) error {
+	if !db.Cfg.GroupCommitForces {
+		return db.forceThroughTxn(nd, t, lsn, func(s *Stats) { s.CommitForces++ })
+	}
+	if inj := db.injector(); inj != nil {
+		if frac, fire := inj.TornForce(nd, db.aliveCount()); fire {
+			db.Logs[nd].ForceTorn(lsn, frac)
+			db.M.Crash(nd)
+			return fmt.Errorf("recovery: log force on node %d torn by crash: %w", nd, machine.ErrNodeDown)
+		}
+	}
+	wf := db.wfp.Load()
+	start := db.M.Clock(nd)
+	res := db.Logs[nd].ForceGroup(lsn)
+	switch {
+	case res.Led:
+		cost := db.logForceCost()
+		db.M.AdvanceClock(nd, cost)
+		db.bump(func(s *Stats) { s.CommitForces++ })
+		db.Observer().ObserveLogForce(cost)
+	case res.Joined:
+		// The follower waited out another commit's physical force: same
+		// simulated latency, no device write of its own.
+		db.M.AdvanceClock(nd, db.logForceCost())
+		db.bump(func(s *Stats) { s.GroupCommitJoins++ })
+	case res.Coalesced:
+		// Already stable on arrival: a free ride, no wait at all.
+		db.bump(func(s *Stats) { s.GroupCommitJoins++ })
+	}
+	if wf != nil {
+		if end := db.M.Clock(nd); end > start {
+			wf.AddWait(int64(t), waterfall.CauseLogForce, start, end-start, int64(lsn), 0)
+		}
+	}
+	return nil
+}
+
 // Commit commits transaction t: its undo tags are cleared (the record is no
 // longer active, so its node ID becomes null), a commit record is appended
 // and the node's log forced through it (durability), and the transaction's
@@ -52,7 +97,7 @@ func (db *DB) Commit(nd machine.NodeID, t wal.TxnID) error {
 	db.wfp.Load().OpStart(int64(t), int32(nd), db.M.Clock(nd))
 	db.flushDeferred(nd, st)
 	lsn := db.Logs[nd].Append(wal.Record{Type: wal.TypeCommit, Txn: t})
-	if err := db.forceThroughTxn(nd, t, lsn, func(s *Stats) { s.CommitForces++ }); err != nil {
+	if err := db.forceCommit(nd, t, lsn); err != nil {
 		return fmt.Errorf("recovery: commit of %v: %w", t, err)
 	}
 	// The commit is acknowledged only if its record really reached stable

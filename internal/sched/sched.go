@@ -68,6 +68,11 @@ const (
 	// SiteEpisode is the harness marker opening episode Arg (the episode's
 	// ORIGINAL index, so seed derivation survives shrinking).
 	SiteEpisode = "episode"
+	// SiteGroupForce is a group-commit epoch wait on a node's WAL: the
+	// leader's window-open hand-off and each follower wait round are one
+	// point each, so epoch coalescing decisions are functions of log state
+	// at floor-serialized recorded instants.
+	SiteGroupForce = "gforce"
 )
 
 // Point is one awaited scheduling decision: actor reached site, with a
@@ -111,6 +116,9 @@ type RunSpec struct {
 	MinAlive        int     `json:"minAlive,omitempty"`
 	IOErrorBurst    int     `json:"ioErrorBurst,omitempty"`
 	PIOError        float64 `json:"pioError,omitempty"`
+	// GroupForce records whether the run had epoch/group commit forces on,
+	// so a replay rebuilds the same coalescing-capable WAL configuration.
+	GroupForce bool `json:"groupForce,omitempty"`
 }
 
 // Schedule is a serialized chaos run: everything needed to re-execute it

@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"smdb/internal/storage"
+)
+
+func groupLog(t *testing.T, window time.Duration, yield func()) *Log {
+	t.Helper()
+	l, err := NewLog(0, storage.NewLogDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.EnableGroupForce(window, yield)
+	return l
+}
+
+func appendCommit(t *testing.T, l *Log, seq uint64) LSN {
+	t.Helper()
+	lsn := l.Append(Record{Type: TypeCommit, Txn: MakeTxnID(0, seq)})
+	if lsn == 0 {
+		t.Fatal("append on a live log returned LSN 0")
+	}
+	return lsn
+}
+
+// Disabled group forces degrade to plain Force semantics.
+func TestForceGroupDisabledIsPlainForce(t *testing.T) {
+	l, err := NewLog(0, storage.NewLogDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := appendCommit(t, l, 1)
+	res := l.ForceGroup(lsn)
+	if !res.Led || res.Records != 1 || res.Joined || res.Coalesced {
+		t.Fatalf("disabled ForceGroup = %+v, want Led with 1 record", res)
+	}
+	if l.ForcedLSN() != lsn {
+		t.Fatalf("ForcedLSN = %d, want %d", l.ForcedLSN(), lsn)
+	}
+}
+
+// Epoch window boundaries: sequential commits from one caller each open
+// their own epoch (the previous epoch closed before the next record was
+// appended), while an already-stable LSN coalesces without any force.
+func TestForceGroupEpochBoundaries(t *testing.T) {
+	l := groupLog(t, 0, nil) // zero window: the leader forces immediately
+	a := appendCommit(t, l, 1)
+	if res := l.ForceGroup(a); !res.Led || res.Records != 1 {
+		t.Fatalf("first commit: %+v, want Led/1", res)
+	}
+	b := appendCommit(t, l, 2)
+	if res := l.ForceGroup(b); !res.Led || res.Records != 1 {
+		t.Fatalf("second commit (new epoch): %+v, want Led/1", res)
+	}
+	// Re-forcing a stable LSN is the coalesced no-op.
+	if res := l.ForceGroup(a); !res.Coalesced {
+		t.Fatalf("stable LSN: %+v, want Coalesced", res)
+	}
+	leads, joins, coalesced := l.GroupStats()
+	if leads != 2 || joins != 0 || coalesced != 1 {
+		t.Fatalf("GroupStats = %d/%d/%d, want 2/0/1", leads, joins, coalesced)
+	}
+}
+
+// Concurrent committers inside one window coalesce into a single physical
+// force: one leader, everyone else joined or coalesced, and the device sees
+// exactly one force (records land in one epoch).
+func TestForceGroupCoalescesConcurrentCommits(t *testing.T) {
+	const n = 8
+	l := groupLog(t, 20*time.Millisecond, nil)
+	var wg sync.WaitGroup
+	results := make([]GroupForceResult, n)
+	lsns := make([]LSN, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			lsn := l.Append(Record{Type: TypeCommit, Txn: MakeTxnID(0, uint64(i + 1))})
+			mu.Unlock()
+			lsns[i] = lsn
+			results[i] = l.ForceGroup(lsn)
+		}(i)
+	}
+	wg.Wait()
+	var led, satisfied int
+	for i, res := range results {
+		if res.Led {
+			led++
+		}
+		if res.Joined || res.Coalesced || res.Led {
+			satisfied++
+		}
+		if l.ForcedLSN() < lsns[i] {
+			t.Errorf("commit %d: LSN %d not stable after ForceGroup", i, lsns[i])
+		}
+	}
+	if led < 1 {
+		t.Fatalf("no epoch leader among %d commits", n)
+	}
+	if satisfied != n {
+		t.Fatalf("%d of %d commits satisfied", satisfied, n)
+	}
+	// The whole batch must have used fewer physical forces than commits —
+	// with a 20ms window and concurrent arrival, far fewer.
+	leads, joins, coalesced := l.GroupStats()
+	if leads >= int64(n) {
+		t.Fatalf("leads = %d, want < %d (no coalescing happened)", leads, n)
+	}
+	if joins+coalesced == 0 {
+		t.Fatalf("GroupStats = %d/%d/%d: nobody joined an epoch", leads, joins, coalesced)
+	}
+}
+
+// A torn group force marks the log down; parked followers wake and report
+// their LSN unforced (zero result) instead of hanging.
+func TestForceGroupTornWakesFollowers(t *testing.T) {
+	l := groupLog(t, time.Hour, nil) // leader would park forever
+	lead := appendCommit(t, l, 1)
+
+	leaderDone := make(chan GroupForceResult, 1)
+	go func() { leaderDone <- l.ForceGroup(lead) }()
+	// Wait until the leader owns the epoch, then add a follower.
+	for {
+		l.mu.Lock()
+		isLeader := l.gf.leader
+		l.mu.Unlock()
+		if isLeader {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	fol := appendCommit(t, l, 2)
+	folDone := make(chan GroupForceResult, 1)
+	go func() { folDone <- l.ForceGroup(fol) }()
+
+	// Crash mid-epoch via a torn force: the log goes down under the
+	// leader's nose and everyone must drain.
+	time.Sleep(time.Millisecond)
+	l.ForceTorn(fol, 0.3)
+
+	select {
+	case res := <-folDone:
+		if res.Joined || res.Coalesced || res.Led {
+			t.Fatalf("follower on a torn log: %+v, want zero result", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower still parked after torn force")
+	}
+	select {
+	case res := <-leaderDone:
+		if res.Led && res.Records > 0 {
+			t.Fatalf("leader forced %d records on a down log", res.Records)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader still parked after torn force")
+	}
+	if l.ForcedLSN() >= fol {
+		t.Fatalf("follower LSN %d stable after torn force at 0.3", fol)
+	}
+}
+
+// Crash mid-epoch (node failure, not a torn device write): followers wake,
+// nothing new becomes stable, and the stable prefix survives Reopen.
+func TestForceGroupCrashMidEpoch(t *testing.T) {
+	l := groupLog(t, time.Hour, nil)
+	stable := appendCommit(t, l, 1)
+	if n, ok := l.Force(stable); !ok || n != 1 {
+		t.Fatalf("seed force = %d/%v", n, ok)
+	}
+	lead := appendCommit(t, l, 2)
+	leaderDone := make(chan GroupForceResult, 1)
+	go func() { leaderDone <- l.ForceGroup(lead) }()
+	for {
+		l.mu.Lock()
+		isLeader := l.gf.leader
+		l.mu.Unlock()
+		if isLeader {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	fol := appendCommit(t, l, 3)
+	folDone := make(chan GroupForceResult, 1)
+	go func() { folDone <- l.ForceGroup(fol) }()
+
+	time.Sleep(time.Millisecond)
+	lost := l.Crash()
+	if lost != 2 {
+		t.Fatalf("Crash lost %d records, want 2 (the volatile epoch)", lost)
+	}
+	for _, ch := range []chan GroupForceResult{folDone, leaderDone} {
+		select {
+		case res := <-ch:
+			if res.Led && res.Records > 0 {
+				t.Fatalf("force on a crashed log claimed %d records", res.Records)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter still parked after crash mid-epoch")
+		}
+	}
+	l.Reopen()
+	if l.ForcedLSN() != stable {
+		t.Fatalf("after crash+reopen ForcedLSN = %d, want %d", l.ForcedLSN(), stable)
+	}
+}
+
+// The yield hook replaces all parking: a leader's window is one hook call
+// and followers poll through the hook instead of cond-waiting, so a
+// scheduler-governed run never blocks outside its floor token.
+func TestForceGroupYieldHook(t *testing.T) {
+	var calls int64
+	var mu sync.Mutex
+	l := groupLog(t, time.Hour, func() { // window must be ignored
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	})
+	lsn := appendCommit(t, l, 1)
+	done := make(chan GroupForceResult, 1)
+	go func() { done <- l.ForceGroup(lsn) }()
+	select {
+	case res := <-done:
+		if !res.Led || res.Records != 1 {
+			t.Fatalf("yield-mode leader: %+v, want Led/1", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("yield-mode leader slept the host-time window")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("leader made %d yield calls, want exactly 1", calls)
+	}
+}

@@ -38,6 +38,10 @@ type Log struct {
 	// truncation low-water mark.
 	firstByTxn map[TxnID]LSN
 
+	// gf is the epoch/group-commit force state (groupforce.go); disabled
+	// unless EnableGroupForce was called.
+	gf groupForce
+
 	// tornBytes counts stable-tail bytes discarded because a crash tore a
 	// force mid-write (repaired at NewLog/Reopen by truncating the device
 	// at the last checksum-valid record).
@@ -178,6 +182,12 @@ func (l *Log) ForcedLSN() LSN {
 func (l *Log) Force(upto LSN) (records int, forced bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.forceLocked(upto)
+}
+
+// forceLocked is Force's body, shared with the group-commit path (which
+// holds l.mu across its leader hand-off). Caller holds l.mu.
+func (l *Log) forceLocked(upto LSN) (records int, forced bool) {
 	if l.down {
 		return 0, false
 	}
@@ -239,6 +249,7 @@ func (l *Log) ForceTorn(upto LSN, frac float64) (whole, torn int) {
 	}
 	if uptoIdx <= l.forced {
 		l.down = true
+		l.wakeGroupLocked()
 		return 0, 0
 	}
 	var bufs [][]byte
@@ -285,6 +296,7 @@ func (l *Log) ForceTorn(upto LSN, frac float64) (whole, torn int) {
 	l.forced += whole
 	l.tornBytes += torn
 	l.down = true
+	l.wakeGroupLocked()
 	if l.obs != nil {
 		l.obs.Instant(obs.KindWALForce, int32(l.node), l.now(),
 			int64(whole), int64(l.first)+int64(l.forced)-1)
@@ -304,6 +316,7 @@ func (l *Log) Crash() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.down = true
+	l.wakeGroupLocked()
 	lost := len(l.recs) - l.forced
 	l.recs = l.recs[:l.forced]
 	// Rebuild per-transaction chains and checkpoint marker from what
@@ -332,6 +345,11 @@ func (l *Log) Reopen() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.down = false
+	if l.gf.downClosed {
+		// Re-arm the group-force down signal for the restarted incarnation.
+		l.gf.downCh = make(chan struct{})
+		l.gf.downClosed = false
+	}
 	contents := l.dev.Contents()
 	if _, torn := DecodeAll(contents); torn > 0 {
 		l.dev.Truncate(contents[:len(contents)-torn])

@@ -135,6 +135,7 @@ func RunChaosSession(db *recovery.DB, inj *fault.Injector, spec Spec, episodes i
 			MinAlive:        plan.MinAlive,
 			IOErrorBurst:    plan.IOErrorBurst,
 			PIOError:        plan.PIOError,
+			GroupForce:      db.Cfg.GroupCommitForces,
 		})
 		db.AttachSched(sess)
 		defer db.AttachSched(nil)

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Runs experiment E23 (per-worker busy/idle balance: per-item dispatch vs
+# work-stealing chunks) and emits BENCH_balance.json — the attribution
+# artifact CI uploads from the multicore runner. Usage:
+#
+#   scripts/bench_balance.sh [output.json] [seed]
+#
+# The JSON carries, per (arm, phase), the worker count, task count,
+# imbalance (max/mean worker busy time; 1.0 is perfectly level) and idle
+# fraction, plus per-arm recovery wall times and the host facts needed to
+# interpret them: on a 1-core host the workers run serially, one drains the
+# whole queue, and imbalance pins at the worker count regardless of the
+# dispatch strategy — only a gomaxprocs >= 4 run with ncpu >= 4 shows the
+# chunker's effect. Parsing is plain awk over smdb-bench's table, matching
+# the other bench scripts.
+set -eu
+
+out="${1:-BENCH_balance.json}"
+seed="${2:-1}"
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go run ./cmd/smdb-bench -exp workbalance -seed "$seed" | tee "$raw" >&2
+
+gomaxprocs="$(go run ./scripts/gomaxprocs 2>/dev/null || true)"
+if [ -z "$gomaxprocs" ]; then
+    gomaxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+fi
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
+
+awk -v gomaxprocs="$gomaxprocs" -v ncpu="$ncpu" -v seed="$seed" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# Table rows: arm phase workers tasks mean-busy max-busy imbalance idle-frac
+NF == 8 && ($1 == "per-item" || $1 == "chunked") && $3 ~ /^[0-9]+$/ {
+    np++
+    rows[np] = sprintf("{\"arm\":\"%s\",\"phase\":\"%s\",\"workers\":%s,\"tasks\":%s,\"imbalance\":%s,\"idle_fraction\":%s}",
+        $1, $2, $3, $4, $7, $8)
+}
+# Summary lines: "<arm>: wall 3.590ms, redo applied 104"
+/^(per-item|chunked): wall / {
+    arm = $1; sub(/:$/, "", arm)
+    w = $3; sub(/ms,$/, "", w)
+    nw++
+    walls[nw] = sprintf("\"%s\":%s", arm, w)
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"seed\": %d,\n", seed
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"ncpu\": %d,\n", ncpu
+    printf "  \"note\": \"imbalance = max/mean worker busy per phase (1.0 = level); on a 1-core host it pins at the worker count for both arms\",\n"
+    printf "  \"wall_ms\": {"
+    for (i = 1; i <= nw; i++) printf "%s%s", walls[i], (i < nw ? "," : "")
+    printf "},\n"
+    printf "  \"phases\": [\n"
+    for (i = 1; i <= np; i++) printf "    %s%s\n", rows[i], (i < np ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out (gomaxprocs=$gomaxprocs, ncpu=$ncpu, seed=$seed)" >&2

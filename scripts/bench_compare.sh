@@ -84,6 +84,50 @@ elif [ -f "$pbase" ] || [ -f "$pfresh" ]; then
     echo "bench_compare: profile record pair incomplete ($pbase / $pfresh); attribution diff skipped" >&2
 fi
 
+# Parallel-speedup diff (non-blocking): compares every speedup_mean key
+# (e.g. "speedup/4-workers") between the two records and WARNs when a fresh
+# mean drops more than 10% below baseline. Wall-clock speedup is what the
+# work-stealing fan-out buys, so a silent slide here would defeat the point
+# of keeping the record — but shared-runner noise makes it advisory, not a
+# gate (CI's blocking floor lives in the bench-multicore job instead). Like
+# the ns/op half, it is skipped when gomaxprocs differ.
+awk -v basefile="$base" -v freshfile="$fresh" '
+FNR == 1 { fileno++ }
+/"gomaxprocs":/ {
+    if (match($0, /[0-9]+/)) gmp[fileno] = substr($0, RSTART, RLENGTH) + 0
+}
+/"speedup_mean":/ {
+    s = $0
+    while (match(s, /"[^"]+":[0-9.]+/)) {
+        kv = substr(s, RSTART + 1, RLENGTH - 1)
+        s = substr(s, RSTART + RLENGTH)
+        split(kv, a, /":/)
+        sp[fileno, a[1]] = a[2] + 0
+        if (!((a[1]) in seen)) { seen[a[1]] = 1; keys[++nk] = a[1] }
+    }
+}
+END {
+    if (nk == 0) exit 0
+    if (gmp[1] != gmp[2]) {
+        printf "WARNING: gomaxprocs differ (baseline %s: %d, fresh %s: %d) — speedup diff skipped\n", \
+            basefile, gmp[1], freshfile, gmp[2] > "/dev/stderr"
+        exit 0
+    }
+    for (i = 1; i <= nk; i++) {
+        k = keys[i]
+        if (!((1, k) in sp)) { printf "speedup  %s: fresh-only (%.3fx)\n", k, sp[2, k]; continue }
+        if (!((2, k) in sp)) { printf "WARNING: speedup %s in baseline but missing from fresh run\n", k > "/dev/stderr"; continue }
+        b = sp[1, k]; f = sp[2, k]
+        flag = "ok"
+        if (f < b * 0.9) {
+            flag = "WARN"
+            printf "WARNING: parallel speedup %s regressed: baseline %.3fx, fresh %.3fx\n", k, b, f > "/dev/stderr"
+        }
+        printf "%-8s %s: baseline %.3fx, fresh %.3fx\n", flag, k, b, f
+    }
+}
+' "$base" "$fresh"
+
 awk -v thresh="$thresh" -v basefile="$base" -v freshfile="$fresh" '
 FNR == 1 { fileno++ }
 /"gomaxprocs":/ {

@@ -32,8 +32,12 @@ gomaxprocs="$(go run ./scripts/gomaxprocs 2>/dev/null || true)"
 if [ -z "$gomaxprocs" ]; then
     gomaxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 fi
+# Physical processors online, recorded separately from gomaxprocs: a forced
+# GOMAXPROCS=4 on a 1-core host still runs the workers serially, and the
+# speedup fields are only meaningful when ncpu actually backs the fan-out.
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
 
-awk -v gomaxprocs="$gomaxprocs" -v count="$count" -v benchtime="$benchtime" \
+awk -v gomaxprocs="$gomaxprocs" -v ncpu="$ncpu" -v count="$count" -v benchtime="$benchtime" \
     -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
 BEGIN { nb = 0 }
@@ -63,6 +67,7 @@ END {
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"ncpu\": %d,\n", ncpu
     printf "  \"count\": %d,\n", count
     printf "  \"benchtime\": \"%s\",\n", jesc(benchtime)
     printf "  \"note\": \"parallel-recovery speedup is host wall-clock; the >=2x @ 4 workers expectation applies when gomaxprocs >= 4\",\n"
@@ -92,4 +97,4 @@ END {
 }
 ' "$raw" > "$out"
 
-echo "wrote $out (gomaxprocs=$gomaxprocs, count=$count, benchtime=$benchtime)" >&2
+echo "wrote $out (gomaxprocs=$gomaxprocs, ncpu=$ncpu, count=$count, benchtime=$benchtime)" >&2
