@@ -238,6 +238,14 @@ var experiments = []experiment{
 			}
 			return res.Table(), nil
 		}},
+	{"recoverydebt", "E24", "recovery-debt estimator: calibrated replay-time estimates vs measured recovery, MTTR accounting, attribution coverage", "this implementation's observability layer; section 5 (how much recovery a crash would cost right now)",
+		func(seed int64, _ *obs.Observer) (string, error) {
+			res, err := harness.RunRecoveryDebt(seed)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		}},
 }
 
 func expNames() []string {

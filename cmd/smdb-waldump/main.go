@@ -1,0 +1,476 @@
+// Command smdb-waldump is the offline WAL forensics tool: it decodes one or
+// more raw log devices — captured from a live run or the wal-node*.wal files
+// a -debt flight-recorder dump carries — into per-record, per-transaction,
+// and per-node space attribution, truncation-readiness analysis (how much of
+// the log a checkpoint could reclaim, and which transaction anchors the
+// rest), and redo/undo span histograms.
+//
+// Usage:
+//
+//	smdb-waldump [-json] [-records] [-top 10] <file.wal | flight-dump-dir>...
+//
+// A directory argument is scanned for wal-node*.wal captures, so pointing
+// the tool at a flight dump analyses every node's log at crash time. The
+// node is inferred from the wal-node<N>.wal name when present, else from the
+// first attributed record's transaction ID (the owning node lives in its
+// top 16 bits).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"smdb/internal/wal"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errW io.Writer) int {
+	fs := flag.NewFlagSet("smdb-waldump", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	jsonOut := fs.Bool("json", false, "emit the analysis as JSON instead of text")
+	records := fs.Bool("records", false, "include the per-record listing")
+	top := fs.Int("top", 0, "show only the top-N transactions by bytes (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(errW, "smdb-waldump: no input files (raw WAL device captures or flight-dump directories)")
+		fs.Usage()
+		return 2
+	}
+	paths, err := expandArgs(fs.Args())
+	if err != nil {
+		fmt.Fprintf(errW, "smdb-waldump: %v\n", err)
+		return 1
+	}
+	var reports []*fileReport
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(errW, "smdb-waldump: %v\n", err)
+			return 1
+		}
+		reports = append(reports, analyze(p, buf))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dumpDoc{Files: reports}); err != nil {
+			fmt.Fprintf(errW, "smdb-waldump: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		writeText(out, rep, *records, *top)
+	}
+	if len(reports) > 1 {
+		writeTotals(out, reports)
+	}
+	return 0
+}
+
+// expandArgs resolves directory arguments into the wal-node*.wal captures a
+// flight dump carries; plain files pass through.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "wal-node*.wal"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no wal-node*.wal captures (was the dump taken with -debt?)", a)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
+// dumpDoc is the -json document: one entry per analysed file.
+type dumpDoc struct {
+	Files []*fileReport `json:"files"`
+}
+
+// fileReport is the full forensic analysis of one decoded log.
+type fileReport struct {
+	Path      string `json:"path"`
+	Node      int    `json:"node"` // -1 when not inferable
+	Records   int    `json:"records"`
+	Bytes     int64  `json:"bytes"`
+	TornBytes int    `json:"torn_bytes"`
+
+	// Truncation readiness: the safe point mirrors the online debt model —
+	// min(last checkpoint, oldest active transaction's first LSN - 1).
+	LastCkpt     int64  `json:"last_checkpoint_lsn"`
+	OldestActive int64  `json:"oldest_active_first_lsn"` // 0 = none
+	OldestTxn    string `json:"oldest_active_txn,omitempty"`
+	SafeLSN      int64  `json:"safe_lsn"`
+	TruncRecords int    `json:"truncatable_records"`
+	TruncBytes   int64  `json:"truncatable_bytes"`
+
+	Types    []typeRow    `json:"type_attribution"`
+	Txns     []txnRow     `json:"txn_attribution"`
+	Nodes    []nodeRow    `json:"node_attribution"`
+	UndoHist []histBucket `json:"undo_span_histogram"`
+	RedoHist []histBucket `json:"redo_span_histogram"`
+
+	Recs []recRow `json:"records_list,omitempty"`
+}
+
+type typeRow struct {
+	Type    string `json:"type"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+}
+
+type txnRow struct {
+	Txn     string `json:"txn"`
+	Node    int    `json:"node"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	First   int64  `json:"first_lsn"`
+	Last    int64  `json:"last_lsn"`
+	Status  string `json:"status"` // committed | aborted | active
+}
+
+type nodeRow struct {
+	Node    int   `json:"node"` // -1 = unattributed (txn 0, non-checkpoint)
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+}
+
+type histBucket struct {
+	Label string `json:"label"` // "1", "2", "3-4", "5-8", ...
+	Count int    `json:"count"`
+}
+
+type recRow struct {
+	LSN    int64  `json:"lsn"`
+	Type   string `json:"type"`
+	Txn    string `json:"txn,omitempty"`
+	Prev   int64  `json:"prev_lsn,omitempty"`
+	Page   int64  `json:"page,omitempty"`
+	Slot   int    `json:"slot,omitempty"`
+	Before int    `json:"before_bytes,omitempty"`
+	After  int    `json:"after_bytes,omitempty"`
+	Bytes  int    `json:"bytes"`
+}
+
+var nodeFileRe = regexp.MustCompile(`^wal-node(\d+)\.wal$`)
+
+// analyze decodes buf (one node's raw log device) and builds the report.
+func analyze(path string, buf []byte) *fileReport {
+	recs, torn := wal.DecodeAll(buf)
+	rep := &fileReport{Path: path, Node: -1, Records: len(recs), TornBytes: torn}
+	if m := nodeFileRe.FindStringSubmatch(filepath.Base(path)); m != nil {
+		rep.Node, _ = strconv.Atoi(m[1])
+	}
+
+	type txnState struct {
+		row  txnRow
+		id   wal.TxnID
+		done bool
+	}
+	txns := map[wal.TxnID]*txnState{}
+	var txnOrder []wal.TxnID
+	typeCount := map[string]*typeRow{}
+	nodeCount := map[int]*nodeRow{}
+	// pageFirst tracks, per page, the first physical record since the last
+	// checkpoint — the start of that page's redo span.
+	pageFirst := map[int64]int64{}
+
+	for i := range recs {
+		r := &recs[i]
+		sz := wal.EncodedSize(r)
+		rep.Bytes += int64(sz)
+		lsn := int64(r.LSN)
+
+		tn := r.Type.String()
+		tr := typeCount[tn]
+		if tr == nil {
+			tr = &typeRow{Type: tn}
+			typeCount[tn] = tr
+		}
+		tr.Records++
+		tr.Bytes += int64(sz)
+
+		// Node attribution: a record belongs to its transaction's node;
+		// checkpoints belong to the log's node; anything else with txn 0 is
+		// unattributed (tracked as node -1).
+		node := -1
+		switch {
+		case r.Txn != 0:
+			node = int(r.Txn.Node())
+			if rep.Node < 0 {
+				rep.Node = node
+			}
+		case r.Type == wal.TypeCheckpoint:
+			node = rep.Node
+		}
+		nr := nodeCount[node]
+		if nr == nil {
+			nr = &nodeRow{Node: node}
+			nodeCount[node] = nr
+		}
+		nr.Records++
+		nr.Bytes += int64(sz)
+
+		if r.Type == wal.TypeCheckpoint {
+			rep.LastCkpt = lsn
+			pageFirst = map[int64]int64{}
+		}
+		if r.Txn != 0 {
+			ts := txns[r.Txn]
+			if ts == nil {
+				ts = &txnState{id: r.Txn, row: txnRow{
+					Txn: r.Txn.String(), Node: int(r.Txn.Node()), First: lsn, Status: "active",
+				}}
+				txns[r.Txn] = ts
+				txnOrder = append(txnOrder, r.Txn)
+			}
+			ts.row.Records++
+			ts.row.Bytes += int64(sz)
+			ts.row.Last = lsn
+			switch r.Type {
+			case wal.TypeCommit:
+				ts.row.Status = "committed"
+				ts.done = true
+			case wal.TypeAbort:
+				ts.row.Status = "aborted"
+				ts.done = true
+			}
+		}
+		if r.Type == wal.TypeUpdate || r.Type == wal.TypeCLR {
+			p := int64(r.Page)
+			if _, ok := pageFirst[p]; !ok {
+				pageFirst[p] = lsn
+			}
+		}
+	}
+
+	// Truncation readiness. The oldest active transaction anchors the log:
+	// nothing from its first LSN on can go, however old the checkpoint.
+	last := int64(len(recs))
+	for _, id := range txnOrder {
+		ts := txns[id]
+		if ts.done {
+			continue
+		}
+		if rep.OldestActive == 0 || ts.row.First < rep.OldestActive {
+			rep.OldestActive = ts.row.First
+			rep.OldestTxn = ts.row.Txn
+		}
+	}
+	rep.SafeLSN = rep.LastCkpt
+	if rep.OldestActive > 0 && rep.OldestActive-1 < rep.SafeLSN {
+		rep.SafeLSN = rep.OldestActive - 1
+	}
+	if rep.SafeLSN > last {
+		rep.SafeLSN = last
+	}
+	for i := range recs {
+		if int64(recs[i].LSN) > rep.SafeLSN {
+			break
+		}
+		rep.TruncRecords++
+		rep.TruncBytes += int64(wal.EncodedSize(&recs[i]))
+	}
+
+	// Undo-span histogram: per transaction, the LSN span of its chain — how
+	// far back an undo walk reaches. Redo-span histogram: per page with
+	// post-checkpoint physical records, the distance from its first such
+	// record to the log end — how much log a redo scan replays for it.
+	var undoSpans, redoSpans []int64
+	for _, id := range txnOrder {
+		ts := txns[id]
+		undoSpans = append(undoSpans, ts.row.Last-ts.row.First+1)
+	}
+	for _, first := range pageFirst {
+		redoSpans = append(redoSpans, last-first+1)
+	}
+	rep.UndoHist = histogram(undoSpans)
+	rep.RedoHist = histogram(redoSpans)
+
+	for _, tr := range typeCount {
+		rep.Types = append(rep.Types, *tr)
+	}
+	sort.Slice(rep.Types, func(i, j int) bool {
+		if rep.Types[i].Bytes != rep.Types[j].Bytes {
+			return rep.Types[i].Bytes > rep.Types[j].Bytes
+		}
+		return rep.Types[i].Type < rep.Types[j].Type
+	})
+	for _, id := range txnOrder {
+		rep.Txns = append(rep.Txns, txns[id].row)
+	}
+	sort.Slice(rep.Txns, func(i, j int) bool {
+		if rep.Txns[i].Bytes != rep.Txns[j].Bytes {
+			return rep.Txns[i].Bytes > rep.Txns[j].Bytes
+		}
+		return rep.Txns[i].First < rep.Txns[j].First
+	})
+	for _, nr := range nodeCount {
+		rep.Nodes = append(rep.Nodes, *nr)
+	}
+	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].Node < rep.Nodes[j].Node })
+
+	for i := range recs {
+		r := &recs[i]
+		row := recRow{
+			LSN: int64(r.LSN), Type: r.Type.String(), Prev: int64(r.PrevLSN),
+			Page: int64(r.Page), Slot: int(r.Slot),
+			Before: len(r.Before), After: len(r.After), Bytes: wal.EncodedSize(r),
+		}
+		if r.Txn != 0 {
+			row.Txn = r.Txn.String()
+		}
+		rep.Recs = append(rep.Recs, row)
+	}
+	return rep
+}
+
+// histogram buckets spans into powers of two: 1, 2, 3-4, 5-8, 9-16, ...
+func histogram(spans []int64) []histBucket {
+	if len(spans) == 0 {
+		return nil
+	}
+	counts := map[int]int{}
+	maxB := 0
+	for _, s := range spans {
+		b := 0
+		for hi := int64(1); hi < s; hi <<= 1 {
+			b++
+		}
+		counts[b]++
+		if b > maxB {
+			maxB = b
+		}
+	}
+	var out []histBucket
+	for b := 0; b <= maxB; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		lo := int64(1) << uint(b-1)
+		hi := int64(1) << uint(b)
+		label := strconv.FormatInt(hi, 10)
+		if b > 1 {
+			label = fmt.Sprintf("%d-%d", lo+1, hi)
+		}
+		out = append(out, histBucket{Label: label, Count: counts[b]})
+	}
+	return out
+}
+
+func writeText(out io.Writer, rep *fileReport, records bool, top int) {
+	node := "?"
+	if rep.Node >= 0 {
+		node = strconv.Itoa(rep.Node)
+	}
+	fmt.Fprintf(out, "== %s (node %s)\n", rep.Path, node)
+	fmt.Fprintf(out, "records: %d (%d bytes), torn tail: %d bytes\n", rep.Records, rep.Bytes, rep.TornBytes)
+	anchor := "none"
+	if rep.OldestActive > 0 {
+		anchor = fmt.Sprintf("%s @ LSN %d", rep.OldestTxn, rep.OldestActive)
+	}
+	fmt.Fprintf(out, "last checkpoint: LSN %d, oldest active txn: %s\n", rep.LastCkpt, anchor)
+	pct := 0.0
+	if rep.Bytes > 0 {
+		pct = 100 * float64(rep.TruncBytes) / float64(rep.Bytes)
+	}
+	fmt.Fprintf(out, "safe point: LSN %d — truncatable: %d records (%d bytes, %.1f%%)\n",
+		rep.SafeLSN, rep.TruncRecords, rep.TruncBytes, pct)
+
+	fmt.Fprintln(out, "type attribution:")
+	for _, tr := range rep.Types {
+		fmt.Fprintf(out, "  %-14s %6d recs  %8d bytes\n", tr.Type, tr.Records, tr.Bytes)
+	}
+
+	fmt.Fprintln(out, "transaction attribution:")
+	rows := rep.Txns
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	for _, tx := range rows {
+		fmt.Fprintf(out, "  %-8s node %-3d %5d recs  %8d bytes  LSN %d..%d  %s\n",
+			tx.Txn, tx.Node, tx.Records, tx.Bytes, tx.First, tx.Last, tx.Status)
+	}
+	if n := len(rep.Txns) - len(rows); n > 0 {
+		fmt.Fprintf(out, "  ... %d more (rerun without -top)\n", n)
+	}
+
+	fmt.Fprintln(out, "per-node attribution:")
+	for _, nr := range rep.Nodes {
+		label := fmt.Sprintf("node %d", nr.Node)
+		if nr.Node < 0 {
+			label = "unattributed"
+		}
+		fmt.Fprintf(out, "  %-13s %6d recs  %8d bytes\n", label, nr.Records, nr.Bytes)
+	}
+
+	writeHist(out, "undo-span histogram (LSN span per txn chain):", rep.UndoHist)
+	writeHist(out, "redo-span histogram (LSNs replayed per page since checkpoint):", rep.RedoHist)
+
+	if records {
+		fmt.Fprintln(out, "records:")
+		for _, r := range rep.Recs {
+			txn := "-"
+			if r.Txn != "" {
+				txn = r.Txn
+			}
+			fmt.Fprintf(out, "  lsn=%-6d %-14s txn=%-8s prev=%-6d page=%-4d slot=%-3d before=%-3d after=%-3d %d bytes\n",
+				r.LSN, r.Type, txn, r.Prev, r.Page, r.Slot, r.Before, r.After, r.Bytes)
+		}
+	}
+}
+
+func writeHist(out io.Writer, title string, h []histBucket) {
+	fmt.Fprintln(out, title)
+	if len(h) == 0 {
+		fmt.Fprintln(out, "  (empty)")
+		return
+	}
+	fmt.Fprint(out, " ")
+	for _, b := range h {
+		fmt.Fprintf(out, " %s:%d", b.Label, b.Count)
+	}
+	fmt.Fprintln(out)
+}
+
+func writeTotals(out io.Writer, reps []*fileReport) {
+	var recs, trunc int
+	var bytes, truncBytes int64
+	torn := 0
+	for _, r := range reps {
+		recs += r.Records
+		bytes += r.Bytes
+		trunc += r.TruncRecords
+		truncBytes += r.TruncBytes
+		torn += r.TornBytes
+	}
+	fmt.Fprintf(out, "\ntotals: %d files, %d records (%d bytes), truncatable %d records (%d bytes), torn %d bytes\n",
+		len(reps), recs, bytes, trunc, truncBytes, torn)
+}

@@ -23,6 +23,7 @@ import (
 	"smdb/internal/heap"
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/debt"
 	"smdb/internal/obs/waterfall"
 	"smdb/internal/storage"
 	"smdb/internal/wal"
@@ -77,6 +78,7 @@ type Manager struct {
 	stats    Stats
 	obs      *obs.Observer
 	wf       *waterfall.Recorder
+	dbt      *debt.Tracker
 	// fetchHook, when non-nil, is called at every Fetch entry with no
 	// manager state held. The chaos schedule recorder uses it as a
 	// scheduling point: a fetch is where a crash-lost page is faulted back
@@ -122,6 +124,14 @@ func (b *Manager) waterfall() *waterfall.Recorder {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.wf
+}
+
+// SetDebt attaches (or, with nil, detaches) the recovery-debt tracker;
+// dirty-page transitions feed its redo-working-set accounting.
+func (b *Manager) SetDebt(d *debt.Tracker) {
+	b.mu.Lock()
+	b.dbt = d
+	b.mu.Unlock()
 }
 
 // NewManager creates a buffer manager over the given store, disk, and
@@ -190,6 +200,7 @@ func (b *Manager) MarkDirty(p storage.PageID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.dirty[p] = true
+	b.dbt.NoteDirty(int64(p))
 }
 
 // Dirty reports whether page p is marked dirty.
@@ -282,6 +293,7 @@ func (b *Manager) FlushPage(nd machine.NodeID, p storage.PageID) error {
 	}
 	delete(b.dirty, p)
 	delete(b.updTable, p)
+	b.dbt.NoteClean(int64(p))
 	o := b.obs
 	b.mu.Unlock()
 	if o != nil {

@@ -1,0 +1,58 @@
+package debt
+
+import "testing"
+
+// The nil-receiver guard benchmarks: with the debt surface disabled the
+// engine's hot paths (WAL append above all) pay one pointer test and must
+// not allocate. Same convention as the obs / audit / prof guard benches.
+
+func BenchmarkNilTrackerNoteAppend(b *testing.B) {
+	var t *Tracker
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.NoteAppend(0, int64(i), 1, 7, 100, int64(i))
+	}
+}
+
+func BenchmarkNilTrackerNoteForce(b *testing.B) {
+	var t *Tracker
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.NoteForce(0, int64(i), 1, int64(i))
+	}
+}
+
+func BenchmarkNilTrackerNoteDirty(b *testing.B) {
+	var t *Tracker
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.NoteDirty(int64(i))
+	}
+}
+
+func BenchmarkLiveTrackerNoteAppend(b *testing.B) {
+	t := New(Config{Nodes: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.NoteAppend(0, int64(i+1), 1, 7, 100, int64(i))
+	}
+}
+
+// TestNilTrackerHooksDoNotAllocate pins the zero-allocation property (the
+// benchmarks measure it; this gate fails the build if it regresses).
+func TestNilTrackerHooksDoNotAllocate(t *testing.T) {
+	var tr *Tracker
+	n := testing.AllocsPerRun(100, func() {
+		tr.NoteAppend(0, 1, 1, 7, 100, 0)
+		tr.NoteForce(0, 1, 1, 0)
+		tr.NoteCrash(0, 1, 0)
+		tr.NoteDiscard(0, 1)
+		tr.NoteDirty(1)
+		tr.NoteClean(1)
+		tr.RecoveryStart(1)
+		tr.RecoveryEnd(true, 0, 0, 1, 0)
+	})
+	if n != 0 {
+		t.Fatalf("nil tracker hooks allocated %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,322 @@
+package debt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// appendN feeds n update appends for txn on node, starting at the node's
+// next LSN, each sized bytes, at simulated time sim.
+func appendN(t *Tracker, node int32, startLSN int64, n int, txn uint64, size int, sim int64) int64 {
+	lsn := startLSN
+	for i := 0; i < n; i++ {
+		t.NoteAppend(node, lsn, 1 /* update */, txn, size, sim)
+		lsn++
+	}
+	return lsn
+}
+
+func TestDebtAccumulatesAndAnchors(t *testing.T) {
+	tr := New(Config{Nodes: 2})
+	// Node 0: txn 7 writes 5 updates then commits; txn 8 writes 3 and stays
+	// in flight.
+	next := appendN(tr, 0, 1, 5, 7, 100, 0)
+	tr.NoteAppend(0, next, typeCommit, 7, 60, 0)
+	next++
+	next = appendN(tr, 0, next, 3, 8, 100, 0)
+	s := tr.Snapshot()
+	n0 := s.Nodes[0]
+	if n0.LastLSN != 9 || n0.Appends != 9 {
+		t.Fatalf("node0 lastLSN=%d appends=%d, want 9/9", n0.LastLSN, n0.Appends)
+	}
+	// No checkpoint yet: safe point is 0, everything is debt.
+	if n0.SafeLSN != 0 || n0.DebtRecords != 9 {
+		t.Fatalf("node0 safe=%d debt=%d, want 0/9", n0.SafeLSN, n0.DebtRecords)
+	}
+	if n0.OldestActive != 7 {
+		t.Fatalf("oldest active = %d, want 7 (txn 8's first record)", n0.OldestActive)
+	}
+	if n0.ActiveTxns != 1 {
+		t.Fatalf("active txns = %d, want 1", n0.ActiveTxns)
+	}
+	wantBytes := int64(5*100 + 60 + 3*100)
+	if n0.DebtBytes != wantBytes {
+		t.Fatalf("debt bytes = %d, want %d", n0.DebtBytes, wantBytes)
+	}
+	if s.DebtRecords != 9 {
+		t.Fatalf("global debt = %d, want 9", s.DebtRecords)
+	}
+}
+
+func TestCheckpointBoundsSafePointByOldestActive(t *testing.T) {
+	tr := New(Config{Nodes: 1})
+	next := appendN(tr, 0, 1, 4, 5, 100, 0) // txn 5 in flight from LSN 1
+	tr.NoteAppend(0, next, typeCheckpoint, 0, 60, 0)
+	next++
+	appendN(tr, 0, next, 2, 6, 100, 0)
+	s := tr.Snapshot()
+	n := s.Nodes[0]
+	// Checkpoint at 5, but txn 5 is active since LSN 1: safe = min(5, 0) = 0.
+	if n.CkptLSN != 5 {
+		t.Fatalf("ckpt = %d, want 5", n.CkptLSN)
+	}
+	if n.SafeLSN != 0 {
+		t.Fatalf("safe = %d, want 0 (oldest active txn anchors below the checkpoint)", n.SafeLSN)
+	}
+	// Commit txn 5: safe point advances to the checkpoint.
+	tr.NoteAppend(0, 8, typeCommit, 5, 60, 0)
+	n = tr.Snapshot().Nodes[0]
+	if n.SafeLSN != 5 {
+		t.Fatalf("safe after commit = %d, want 5", n.SafeLSN)
+	}
+	if n.DebtRecords != 3 {
+		t.Fatalf("debt after commit = %d, want 3 (LSNs 6..8)", n.DebtRecords)
+	}
+}
+
+func TestCrashTruncatesToStablePrefix(t *testing.T) {
+	tr := New(Config{Nodes: 1})
+	next := appendN(tr, 0, 1, 6, 3, 100, 0)
+	tr.NoteForce(0, 4, 4, 0)
+	tr.NoteCrash(0, 4, 2)
+	s := tr.Snapshot().Nodes[0]
+	if s.LastLSN != 4 {
+		t.Fatalf("last after crash = %d, want 4", s.LastLSN)
+	}
+	if s.DebtBytes != 400 {
+		t.Fatalf("debt bytes after crash = %d, want 400", s.DebtBytes)
+	}
+	// The restarted incarnation appends from LSN 5 again.
+	appendN(tr, 0, next-2, 2, 9, 100, 0)
+	s = tr.Snapshot().Nodes[0]
+	if s.LastLSN != 6 || s.DebtRecords != 6 {
+		t.Fatalf("after reappend last=%d debt=%d, want 6/6", s.LastLSN, s.DebtRecords)
+	}
+}
+
+func TestDiscardRebasesBytes(t *testing.T) {
+	tr := New(Config{Nodes: 1})
+	appendN(tr, 0, 1, 10, 3, 100, 0)
+	tr.NoteForce(0, 10, 10, 0)
+	tr.NoteDiscard(0, 6) // records 1..5 reclaimed
+	s := tr.Snapshot().Nodes[0]
+	if s.FirstLSN != 6 || s.Discarded != 5 {
+		t.Fatalf("first=%d discarded=%d, want 6/5", s.FirstLSN, s.Discarded)
+	}
+	// All bytes above the (now clamped) safe point are the retained 5 records.
+	if s.DebtBytes != 500 {
+		t.Fatalf("debt bytes after discard = %d, want 500", s.DebtBytes)
+	}
+}
+
+// TestRecoveryResetsDebtAndRecalibrates is the satellite unit test: debt
+// drops to ~zero immediately after a completed recovery, re-accumulates
+// from there, and the estimator produces calibrated estimates.
+func TestRecoveryResetsDebtAndRecalibrates(t *testing.T) {
+	tr := New(Config{Nodes: 2})
+	appendN(tr, 0, 1, 50, 3, 100, 0)
+	appendN(tr, 1, 1, 30, 1<<48|9, 100, 0)
+	if s := tr.Snapshot(); s.DebtRecords != 80 {
+		t.Fatalf("pre-recovery debt = %d, want 80", s.DebtRecords)
+	}
+	tr.RecoveryStart(1)
+	tr.RecoveryEnd(true, 60, 0, 1, 5_000_000)
+	s := tr.Snapshot()
+	if s.DebtRecords != 0 || s.DebtBytes != 0 {
+		t.Fatalf("post-recovery debt = %d records / %d bytes, want 0/0", s.DebtRecords, s.DebtBytes)
+	}
+	if !s.Calibrated || s.Recoveries != 1 || s.Calibrations != 1 {
+		t.Fatalf("calibration missing: %+v", s)
+	}
+	if s.LastSimNS != 5_000_000 {
+		t.Fatalf("last sim MTTR = %d, want 5ms", s.LastSimNS)
+	}
+	if s.NSPerRecPar <= 0 {
+		t.Fatalf("ns/record not calibrated: %v", s.NSPerRecPar)
+	}
+	// Re-accumulate: estimates scale with the new debt.
+	appendN(tr, 0, 51, 40, 4, 100, 0)
+	s = tr.Snapshot()
+	if s.DebtRecords != 40 {
+		t.Fatalf("re-accumulated debt = %d, want 40", s.DebtRecords)
+	}
+	if s.EstParNS <= 0 || s.EstSeqNS < s.EstParNS {
+		t.Fatalf("estimates wrong: seq=%d par=%d", s.EstSeqNS, s.EstParNS)
+	}
+	want := int64(float64(40) * s.NSPerRecPar)
+	if s.EstParNS != want {
+		t.Fatalf("par estimate = %d, want %d", s.EstParNS, want)
+	}
+}
+
+func TestFailedRecoveryDoesNotReset(t *testing.T) {
+	tr := New(Config{Nodes: 1})
+	appendN(tr, 0, 1, 20, 3, 100, 0)
+	tr.RecoveryStart(1)
+	tr.RecoveryEnd(false, 0, 0, 1, 0)
+	s := tr.Snapshot()
+	if s.DebtRecords != 20 {
+		t.Fatalf("debt after failed recovery = %d, want 20 (no reset)", s.DebtRecords)
+	}
+	if s.Failures != 1 || s.Recoveries != 0 || s.Calibrated {
+		t.Fatalf("failure accounting wrong: %+v", s)
+	}
+}
+
+func TestGrowthWatchdogFires(t *testing.T) {
+	tr := New(Config{Nodes: 1, WindowNS: 1000})
+	lsn := int64(1)
+	// Seed enough debt to clear the floor, then keep growing across windows
+	// with no force/checkpoint/discard.
+	for w := int64(0); w < growthWindows+3; w++ {
+		for i := 0; i < growthFloor; i++ {
+			tr.NoteAppend(0, lsn, 1, 3, 60, w*1000)
+			lsn++
+		}
+	}
+	an := tr.Anomalies()
+	if len(an) != 1 {
+		t.Fatalf("anomalies = %d, want exactly 1 (streak fires once)", len(an))
+	}
+	if an[0].Kind != "unbounded-debt-growth" {
+		t.Fatalf("anomaly kind = %q", an[0].Kind)
+	}
+}
+
+func TestGrowthWatchdogQuietWhenSafePointAdvances(t *testing.T) {
+	tr := New(Config{Nodes: 1, WindowNS: 1000})
+	lsn := int64(1)
+	for w := int64(0); w < growthWindows+4; w++ {
+		for i := 0; i < growthFloor; i++ {
+			tr.NoteAppend(0, lsn, 1, 3, 60, w*1000)
+			lsn++
+		}
+		// A checkpoint in every window keeps the safe point moving.
+		tr.NoteAppend(0, lsn, typeCheckpoint, 0, 60, w*1000)
+		lsn++
+	}
+	if an := tr.Anomalies(); len(an) != 0 {
+		t.Fatalf("anomalies = %v, want none while checkpoints advance the safe point", an)
+	}
+}
+
+func TestWriteDebtJSONShape(t *testing.T) {
+	tr := New(Config{Nodes: 2})
+	appendN(tr, 0, 1, 3, 7, 100, 0)
+	tr.NoteDirty(4)
+	tr.NoteDirty(5)
+	tr.NoteClean(5)
+	var buf bytes.Buffer
+	if err := tr.WriteDebtJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc["enabled"] != true {
+		t.Fatalf("enabled = %v", doc["enabled"])
+	}
+	if doc["debt_records"].(float64) != 3 {
+		t.Fatalf("debt_records = %v", doc["debt_records"])
+	}
+	if doc["dirty_pages"].(float64) != 1 {
+		t.Fatalf("dirty_pages = %v", doc["dirty_pages"])
+	}
+	nodes := doc["nodes"].([]any)
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(nodes))
+	}
+
+	// The nil tracker degrades like every obs surface.
+	buf.Reset()
+	var nilTr *Tracker
+	if err := nilTr.WriteDebtJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{\"enabled\": false}\n" {
+		t.Fatalf("nil tracker JSON = %q", got)
+	}
+}
+
+func TestWriteDebtProm(t *testing.T) {
+	tr := New(Config{Nodes: 2})
+	appendN(tr, 0, 1, 3, 7, 100, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteDebtProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"smdb_recovery_debt_records{node=\"0\"} 3",
+		"smdb_recovery_debt_records{node=\"1\"} 0",
+		"smdb_recovery_debt_bytes{node=\"0\"} 300",
+		"smdb_recovery_debt_estimate_ns{kind=\"sequential\"} 0",
+		"smdb_recovery_debt_dirty_pages 0",
+		"smdb_recovery_debt_recoveries_total 0",
+		"# TYPE smdb_recovery_debt_records gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	var nilTr *Tracker
+	buf.Reset()
+	if err := nilTr.WriteDebtProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil tracker prom output = %q, want empty", buf.String())
+	}
+}
+
+func TestTypeAttributionAndCoverage(t *testing.T) {
+	tr := New(Config{Nodes: 1})
+	appendN(tr, 0, 1, 4, 3, 100, 0)
+	tr.NoteAppend(0, 5, typeCommit, 3, 60, 0)
+	tr.NoteAppend(0, 6, typeCheckpoint, 0, 60, 0)
+	tr.NoteAppend(0, 7, 5 /* lock-acquire */, 0, 60, 0) // txn 0: unattributed
+	tc := tr.TypeAttribution()
+	var updates, commits int64
+	for _, c := range tc {
+		switch c.Type {
+		case 1:
+			updates = c.Records
+		case typeCommit:
+			commits = c.Records
+		}
+	}
+	if updates != 4 || commits != 1 {
+		t.Fatalf("type attribution updates=%d commits=%d, want 4/1", updates, commits)
+	}
+	s := tr.Snapshot()
+	want := float64(6) / float64(7)
+	if s.Coverage < want-1e-9 || s.Coverage > want+1e-9 {
+		t.Fatalf("coverage = %v, want %v", s.Coverage, want)
+	}
+}
+
+func TestSummaryLines(t *testing.T) {
+	var nilTr *Tracker
+	if got := nilTr.Summary(); got != "debt: disabled" {
+		t.Fatalf("nil summary = %q", got)
+	}
+	tr := New(Config{Nodes: 1})
+	appendN(tr, 0, 1, 2, 3, 100, 0)
+	if got := tr.Summary(); !strings.Contains(got, "2 record(s)") || !strings.Contains(got, "uncalibrated") {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+func TestMidRunAttachResyncs(t *testing.T) {
+	tr := New(Config{Nodes: 1})
+	// First observed append is LSN 100 (the tracker attached mid-run).
+	tr.NoteAppend(0, 100, 1, 3, 100, 0)
+	tr.NoteAppend(0, 101, 1, 3, 100, 0)
+	s := tr.Snapshot().Nodes[0]
+	if s.FirstLSN != 100 || s.LastLSN != 101 || s.DebtRecords != 2 {
+		t.Fatalf("resync wrong: %+v", s)
+	}
+}

@@ -110,9 +110,9 @@ func TestEdgeDedupAndCensus(t *testing.T) {
 func TestDoomedSurvivorVerdict(t *testing.T) {
 	tr := New(nil)
 	id := txnID(1, 1)
-	tr.NoteWrite(id, 1, 5, 100, 0, 10)           // unlogged (deferred logging)
-	tr.OnEvent(ev(obs.KindMigrate, 3, 20, 5, 1)) // sole copy now on node 3
-	tr.NoteCrash([]int32{3}, []int32{5}, nil, 30)     // node 3 dies holding it
+	tr.NoteWrite(id, 1, 5, 100, 0, 10)            // unlogged (deferred logging)
+	tr.OnEvent(ev(obs.KindMigrate, 3, 20, 5, 1))  // sole copy now on node 3
+	tr.NoteCrash([]int32{3}, []int32{5}, nil, 30) // node 3 dies holding it
 
 	vs := tr.Verdicts()
 	if len(vs) != 1 {

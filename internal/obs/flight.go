@@ -61,6 +61,16 @@ type WaterfallSource interface {
 	WriteRecoveryProgress(w io.Writer) error
 }
 
+// DebtSource renders the recovery-debt tracker's surfaces (debt.Tracker
+// satisfies it; like GraphWriter, the interface lives here so obs does not
+// import its own subpackage). WriteDebtJSON is the combined document the
+// flight recorder stores as debt.json and the /recovery/debt endpoint
+// serves; WriteDebtProm appends Prometheus lines to /metrics.
+type DebtSource interface {
+	WriteDebtJSON(w io.Writer) error
+	WriteDebtProm(w io.Writer) error
+}
+
 // DefaultFlightEvents is the per-node event tail retained in a dump.
 const DefaultFlightEvents = 256
 
@@ -87,6 +97,7 @@ type FlightRecorder struct {
 	audit    AuditSource
 	prof     ProfSource
 	wfall    WaterfallSource
+	debt     DebtSource
 	stats    func(io.Writer) error
 	aux      map[string]func(io.Writer) error
 	dumps    []string
@@ -109,10 +120,11 @@ func NewFlightRecorder(dir string, lastN int) *FlightRecorder {
 // join every dump), an optional profiler source (the contention profiler's
 // combined document joins as prof.json), an optional waterfall source (the
 // tail-sampled slow-transaction traces and recovery progress join as
-// waterfall.json), and an optional stats writer (called once per dump;
-// implementations typically print deltas since the previous dump). Any may
-// be nil.
-func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p ProfSource, wf WaterfallSource, stats func(io.Writer) error) {
+// waterfall.json), an optional recovery-debt source (the live debt
+// accounting joins as debt.json), and an optional stats writer (called once
+// per dump; implementations typically print deltas since the previous
+// dump). Any may be nil.
+func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p ProfSource, wf WaterfallSource, dbt DebtSource, stats func(io.Writer) error) {
 	if r == nil {
 		return
 	}
@@ -122,6 +134,7 @@ func (r *FlightRecorder) SetSources(o *Observer, g GraphWriter, a AuditSource, p
 	r.audit = a
 	r.prof = p
 	r.wfall = wf
+	r.debt = dbt
 	r.stats = stats
 	r.mu.Unlock()
 }
@@ -282,6 +295,9 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 		if r.wfall != nil {
 			fmt.Fprintf(w, " waterfall.json")
 		}
+		if r.debt != nil {
+			fmt.Fprintf(w, " debt.json")
+		}
 		if r.stats != nil {
 			fmt.Fprintf(w, " stats.txt")
 		}
@@ -373,6 +389,11 @@ func (r *FlightRecorder) Dump(reason string) (string, error) {
 	}
 	if r.wfall != nil {
 		if err := r.writeFile(dir, "waterfall.json", &written, r.wfall.WriteWaterfallJSON); err != nil {
+			return "", err
+		}
+	}
+	if r.debt != nil {
+		if err := r.writeFile(dir, "debt.json", &written, r.debt.WriteDebtJSON); err != nil {
 			return "", err
 		}
 	}

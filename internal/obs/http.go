@@ -50,7 +50,7 @@ func (m *indexMux) handle(pattern, display string, h http.HandlerFunc) {
 // Endpoints returns every introspection path the HTTP handler registers, in
 // sorted order — the source of truth the index handler and its test share.
 func Endpoints() []string {
-	m := newHTTPMux(nil, nil, nil, nil, nil)
+	m := newHTTPMux(nil, nil, nil, nil, nil, nil)
 	out := make([]string, 0, len(m.endpoints))
 	for _, e := range m.endpoints {
 		out = append(out, e.pattern)
@@ -77,16 +77,18 @@ func Endpoints() []string {
 //	/slow/{txnid}       one sampled transaction's waterfall ("t0.3" or the
 //	                    packed integer id)
 //	/recovery/progress  live restart-recovery progress (rates, ETA)
+//	/recovery/debt      live recovery-debt accounting (log debt per node,
+//	                    MTTR history, estimated replay time)
 //	/debug/pprof/       the standard Go profiler endpoints
 //
 // o may be nil (endpoints degrade to empty documents), graph may be nil
-// (/deps explains that no tracker is attached), and aud/prf/wf may be nil
-// (their endpoints report {"enabled": false}).
-func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource, wf WaterfallSource) http.Handler {
-	return newHTTPMux(o, graph, aud, prf, wf).mux
+// (/deps explains that no tracker is attached), and aud/prf/wf/dbt may be
+// nil (their endpoints report {"enabled": false}).
+func NewHTTPHandler(o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource, wf WaterfallSource, dbt DebtSource) http.Handler {
+	return newHTTPMux(o, graph, aud, prf, wf, dbt).mux
 }
 
-func newHTTPMux(o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource, wf WaterfallSource) *indexMux {
+func newHTTPMux(o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource, wf WaterfallSource, dbt DebtSource) *indexMux {
 	start := time.Now()
 	m := &indexMux{mux: http.NewServeMux()}
 	m.handle("/healthz", "", func(w http.ResponseWriter, _ *http.Request) {
@@ -111,6 +113,12 @@ func newHTTPMux(o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource,
 		}
 		if wf != nil {
 			if err := wf.WriteWaterfallProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		if dbt != nil {
+			if err := dbt.WriteDebtProm(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		}
@@ -208,6 +216,16 @@ func newHTTPMux(o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource,
 	m.handle("/recovery/progress", "", func(w http.ResponseWriter, _ *http.Request) {
 		wfJSON(w, "application/json", func(out io.Writer) error { return wf.WriteRecoveryProgress(out) })
 	})
+	m.handle("/recovery/debt", "", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if dbt == nil {
+			fmt.Fprintln(w, `{"enabled": false}`)
+			return
+		}
+		if err := dbt.WriteDebtJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	m.handle("/debug/pprof/", "", pprof.Index)
 	m.handle("/debug/pprof/cmdline", "", pprof.Cmdline)
 	m.handle("/debug/pprof/profile", "", pprof.Profile)
@@ -267,14 +285,14 @@ type HTTPServer struct {
 // ServeHTTP starts the introspection server on addr (e.g. "127.0.0.1:8321"
 // or "127.0.0.1:0") in a background goroutine and returns once the listener
 // is bound. Close with Shutdown.
-func ServeHTTP(addr string, o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource, wf WaterfallSource) (*HTTPServer, error) {
+func ServeHTTP(addr string, o *Observer, graph GraphWriter, aud AuditSource, prf ProfSource, wf WaterfallSource, dbt DebtSource) (*HTTPServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &HTTPServer{
 		Addr: lis.Addr().String(),
-		srv:  &http.Server{Handler: NewHTTPHandler(o, graph, aud, prf, wf)},
+		srv:  &http.Server{Handler: NewHTTPHandler(o, graph, aud, prf, wf, dbt)},
 		lis:  lis,
 	}
 	go func() { _ = s.srv.Serve(lis) }()

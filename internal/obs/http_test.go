@@ -20,7 +20,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string, string) {
 }
 
 func TestHTTPHandlerEndpoints(t *testing.T) {
-	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{}, nil)
+	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{}, nil, nil)
 
 	code, body, _ := get(t, h, "/healthz")
 	if code != 200 || !strings.HasPrefix(body, "ok events=") {
@@ -95,7 +95,7 @@ func TestHTTPHandlerEndpoints(t *testing.T) {
 }
 
 func TestHTTPHandlerNilSources(t *testing.T) {
-	h := NewHTTPHandler(nil, nil, nil, nil, nil)
+	h := NewHTTPHandler(nil, nil, nil, nil, nil, nil)
 	code, body, _ := get(t, h, "/deps")
 	if code != 200 || !strings.Contains(body, "no dependency tracker attached") {
 		t.Errorf("/deps with nil graph = %d %q", code, body)
@@ -108,7 +108,7 @@ func TestHTTPHandlerNilSources(t *testing.T) {
 	if code != 200 {
 		t.Errorf("/metrics with nil observer = %d", code)
 	}
-	for _, path := range []string{"/audit/txn", "/audit/txn/t0.1", "/audit/violations", "/timeseries", "/prof/stripes", "/prof/workers"} {
+	for _, path := range []string{"/audit/txn", "/audit/txn/t0.1", "/audit/violations", "/timeseries", "/prof/stripes", "/prof/workers", "/recovery/debt"} {
 		code, body, _ := get(t, h, path)
 		if code != 200 || !strings.Contains(body, `"enabled": false`) {
 			t.Errorf("%s with nil source = %d %q", path, code, body)
@@ -117,7 +117,7 @@ func TestHTTPHandlerNilSources(t *testing.T) {
 }
 
 func TestServeHTTPLive(t *testing.T) {
-	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil, nil, nil, nil)
+	s, err := ServeHTTP("127.0.0.1:0", goldenObserver(), nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +171,24 @@ func (stubWf) WriteRecoveryProgress(w io.Writer) error {
 	return err
 }
 
+// stubDebt is a DebtSource standing in for the recovery-debt tracker (same
+// import constraint as stubGraph: obs cannot import its own subpackage).
+type stubDebt struct{}
+
+func (stubDebt) WriteDebtJSON(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"enabled\":true,\"debt_records\":7}\n")
+	return err
+}
+func (stubDebt) WriteDebtProm(w io.Writer) error {
+	_, err := io.WriteString(w, "# TYPE smdb_recovery_debt_records gauge\nsmdb_recovery_debt_records 7\n")
+	return err
+}
+
 // TestEndpointIndexComplete pins the generated index to the registrations:
 // every endpoint the mux registers must appear in the "/" body and must not
 // 404 — the drift the hand-maintained index used to accumulate.
 func TestEndpointIndexComplete(t *testing.T) {
-	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{}, stubWf{})
+	h := NewHTTPHandler(goldenObserver(), stubGraph{}, stubAudit{}, stubProf{}, stubWf{}, stubDebt{})
 	code, body, _ := get(t, h, "/")
 	if code != 200 {
 		t.Fatalf("index = %d", code)
@@ -201,7 +214,7 @@ func TestEndpointIndexComplete(t *testing.T) {
 }
 
 func TestWaterfallEndpoints(t *testing.T) {
-	h := NewHTTPHandler(goldenObserver(), nil, nil, nil, stubWf{})
+	h := NewHTTPHandler(goldenObserver(), nil, nil, nil, stubWf{}, nil)
 
 	code, body, ctype := get(t, h, "/slow?max=5")
 	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"max":5`) {
@@ -234,11 +247,31 @@ func TestWaterfallEndpoints(t *testing.T) {
 	}
 
 	// Without a recorder the waterfall endpoints degrade, not 404.
-	h = NewHTTPHandler(nil, nil, nil, nil, nil)
+	h = NewHTTPHandler(nil, nil, nil, nil, nil, nil)
 	for _, path := range []string{"/slow", "/slow/trace", "/slow/t0.1", "/recovery/progress"} {
 		code, body, _ := get(t, h, path)
 		if code != 200 || !strings.Contains(body, `"enabled": false`) {
 			t.Errorf("%s with nil recorder = %d %q", path, code, body)
 		}
+	}
+}
+
+func TestDebtEndpoint(t *testing.T) {
+	h := NewHTTPHandler(goldenObserver(), nil, nil, nil, nil, stubDebt{})
+
+	code, body, ctype := get(t, h, "/recovery/debt")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"debt_records":7`) {
+		t.Errorf("/recovery/debt = %d %q %q", code, ctype, body)
+	}
+	code, body, _ = get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "smdb_recovery_debt_records") {
+		t.Errorf("/metrics does not append debt lines: %d\n%s", code, body)
+	}
+
+	// Without a tracker the endpoint degrades, not 404.
+	h = NewHTTPHandler(nil, nil, nil, nil, nil, nil)
+	code, body, _ = get(t, h, "/recovery/debt")
+	if code != 200 || !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("/recovery/debt with nil tracker = %d %q", code, body)
 	}
 }

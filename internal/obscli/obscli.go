@@ -21,6 +21,7 @@ import (
 	"smdb/internal/machine"
 	"smdb/internal/obs"
 	"smdb/internal/obs/audit"
+	"smdb/internal/obs/debt"
 	"smdb/internal/obs/deps"
 	"smdb/internal/obs/prof"
 	"smdb/internal/obs/waterfall"
@@ -43,6 +44,7 @@ type Flags struct {
 	Prof      bool          // -prof: stripe-contention + worker cost-attribution profiler
 	Waterfall bool          // -waterfall: per-txn latency waterfalls + tail sampler + recovery progress
 	SlowK     int           // -slowk: slowest transactions retained per sampler window
+	Debt      bool          // -debt: live recovery-debt tracker + MTTR accounting (/recovery/debt)
 
 	// RecoverWorkers is -recoverworkers: the restart-recovery fan-out every
 	// cmd copies into recovery.Config.RecoveryWorkers (0 or 1 = sequential).
@@ -82,6 +84,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Prof, "prof", false, "per-stripe lock contention and per-worker recovery cost profiling (/prof/stripes, /prof/workers, end-of-run report)")
 	fs.BoolVar(&f.Waterfall, "waterfall", false, "per-transaction latency waterfalls with tail-sampled causal traces and live recovery progress (/slow, /recovery/progress)")
 	fs.IntVar(&f.SlowK, "slowk", 0, "slowest transactions retained per waterfall sampler window (0 = default 8)")
+	fs.BoolVar(&f.Debt, "debt", false, "live recovery-debt tracker: log debt per node, MTTR accounting, and estimated replay time (/recovery/debt)")
 	fs.IntVar(&f.RecoverWorkers, "recoverworkers", 0, "parallel restart-recovery workers (0 = sequential)")
 	fs.BoolVar(&f.GroupForce, "groupforce", false, "epoch/group commit log forces: commits in one epoch window share a single physical WAL force")
 	fs.StringVar(&f.Record, "record", "", "record chaos schedules (one JSON per seed) under this directory")
@@ -133,7 +136,7 @@ func (f *Flags) RejectSched(cmd string) error {
 
 // Enabled reports whether any observability surface was requested.
 func (f *Flags) Enabled() bool {
-	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != "" || f.Audit || f.Prof || f.Waterfall
+	return f.Trace != "" || f.Metrics || f.HTTP != "" || f.FlightDir != "" || f.Audit || f.Prof || f.Waterfall || f.Debt
 }
 
 // Stack is the assembled observability stack for one command run. The
@@ -151,6 +154,7 @@ type Stack struct {
 	aud    atomic.Pointer[audit.Auditor]
 	prof   atomic.Pointer[prof.Pair]
 	wf     atomic.Pointer[waterfall.Recorder]
+	dbt    atomic.Pointer[debt.Tracker]
 
 	holdStop chan struct{}
 	holdOnce sync.Once
@@ -217,6 +221,19 @@ func (s *Stack) WriteRecoveryProgress(w io.Writer) error {
 	return s.wf.Load().WriteRecoveryProgress(w)
 }
 
+// WriteDebtJSON and WriteDebtProm make Stack the obs.DebtSource handed to
+// the HTTP server and flight recorder, delegating to the debt tracker from
+// the most recent Attach (the debt writers are nil-receiver safe, reporting
+// {"enabled": false} before the first Attach or with -debt off).
+func (s *Stack) WriteDebtJSON(w io.Writer) error { return s.dbt.Load().WriteDebtJSON(w) }
+
+// WriteDebtProm renders the current debt tracker's Prometheus lines.
+func (s *Stack) WriteDebtProm(w io.Writer) error { return s.dbt.Load().WriteDebtProm(w) }
+
+// Debt returns the recovery-debt tracker from the most recent Attach (nil
+// before the first, or with -debt off).
+func (s *Stack) Debt() *debt.Tracker { return s.dbt.Load() }
+
 // Waterfall returns the waterfall recorder from the most recent Attach (nil
 // before the first, or with -waterfall off).
 func (s *Stack) Waterfall() *waterfall.Recorder { return s.wf.Load() }
@@ -250,7 +267,7 @@ func (f *Flags) Build() (*Stack, error) {
 		s.Flight = obs.NewFlightRecorder(f.FlightDir, f.FlightN)
 	}
 	if f.HTTP != "" {
-		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s, s, s, s)
+		srv, err := obs.ServeHTTP(f.HTTP, s.Obs, s, s, s, s, s)
 		if err != nil {
 			return nil, fmt.Errorf("-http: %w", err)
 		}
@@ -305,6 +322,28 @@ func (s *Stack) Attach(db *recovery.DB) *deps.Tracker {
 		})
 		db.AttachWaterfall(w)
 		s.wf.Store(w)
+	}
+	if s.flags.Debt {
+		// A fresh tracker per DB, like the profiler; attach before the
+		// flight recorder so debt.json joins its dumps.
+		d := debt.New(debt.Config{
+			Nodes:        db.M.Nodes(),
+			LinesPerPage: db.Cfg.LinesPerPage,
+		})
+		db.AttachDebt(d)
+		s.dbt.Store(d)
+		if s.Flight != nil {
+			// Capture the raw per-node WAL devices in every dump so
+			// smdb-waldump can run offline forensics on the exact log state
+			// at crash time.
+			for _, l := range db.Logs {
+				dev := l.Device()
+				s.Flight.SetAux(fmt.Sprintf("wal-node%d.wal", l.Node()), func(w io.Writer) error {
+					_, err := w.Write(dev.Contents())
+					return err
+				})
+			}
+		}
 	}
 	if s.Flight != nil {
 		db.SetFlightRecorder(s.Flight)
@@ -374,6 +413,9 @@ func (s *Stack) Finish(out io.Writer) error {
 	}
 	if w := s.wf.Load(); w != nil {
 		fmt.Fprintln(out, w.Summary())
+	}
+	if d := s.dbt.Load(); d != nil {
+		fmt.Fprintln(out, d.Summary())
 	}
 	if s.flags.Trace != "" {
 		f, err := os.Create(s.flags.Trace)

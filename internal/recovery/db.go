@@ -15,6 +15,7 @@ import (
 	"smdb/internal/machine"
 	"smdb/internal/obs"
 	"smdb/internal/obs/audit"
+	"smdb/internal/obs/debt"
 	"smdb/internal/obs/deps"
 	"smdb/internal/obs/prof"
 	"smdb/internal/obs/waterfall"
@@ -281,6 +282,10 @@ type DB struct {
 	// disabled); see AttachWaterfall. An atomic pointer because the hot
 	// paths (Update, Read, Commit) consult it outside db.mu.
 	wfp atomic.Pointer[waterfall.Recorder]
+	// dbtp is the attached recovery-debt tracker (nil when disabled); see
+	// AttachDebt. Atomic for the same reason as wfp: Recover consults it
+	// outside db.mu.
+	dbtp atomic.Pointer[debt.Tracker]
 	// arenas are the per-worker-slot reusable recovery scratch buffers
 	// (see recArena): slot w belongs to fan-out worker slot w, slot 0 to
 	// the sequential paths. Sized once at New from RecoveryWorkers, reused
@@ -556,6 +561,32 @@ func (db *DB) AttachWaterfall(w *waterfall.Recorder) {
 // its methods are nil-safe).
 func (db *DB) Waterfall() *waterfall.Recorder { return db.wfp.Load() }
 
+// AttachDebt wires the live recovery-debt tracker through the substrates
+// that accumulate (and retire) replay debt: each node's WAL (append, force,
+// crash truncation, discard) and the buffer manager (dirty-page
+// transitions). Recover feeds it MTTR samples and estimator calibration.
+// Passing nil detaches everywhere.
+func (db *DB) AttachDebt(d *debt.Tracker) {
+	for _, l := range db.Logs {
+		node := l.Node()
+		var fn func() int64
+		if d != nil {
+			fn = func() int64 { return db.M.Clock(node) }
+		}
+		l.SetDebt(d, fn)
+	}
+	db.BM.SetDebt(d)
+	if d == nil {
+		db.dbtp.Store(nil)
+		return
+	}
+	db.dbtp.Store(d)
+}
+
+// Debt returns the attached recovery-debt tracker (nil when disabled; all
+// its methods are nil-safe).
+func (db *DB) Debt() *debt.Tracker { return db.dbtp.Load() }
+
 // Prof returns the attached profiler pair (nil when disabled).
 func (db *DB) Prof() *prof.Pair {
 	db.mu.Lock()
@@ -606,12 +637,16 @@ func (db *DB) SetFlightRecorder(r *obs.FlightRecorder) {
 	if wf := db.Waterfall(); wf != nil {
 		ws = wf
 	}
+	var ds obs.DebtSource
+	if d := db.Debt(); d != nil {
+		ds = d
+	}
 	// Stats writer: machine + protocol counters as deltas since the last
 	// dump, so each dump reads as "what happened since the previous one".
 	var prevM machine.Stats
 	var prevP Stats
 	var prevMu sync.Mutex
-	r.SetSources(o, g, as, ps, ws, func(w io.Writer) error {
+	r.SetSources(o, g, as, ps, ws, ds, func(w io.Writer) error {
 		curM := db.M.Stats()
 		curP := db.Stats()
 		prevMu.Lock()

@@ -122,6 +122,24 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	db.recovering.Store(true)
 	defer db.recovering.Store(false)
 	rep := &RecoveryReport{Protocol: db.Cfg.Protocol, Crashed: mergeNodes(crashed, nil), Workers: db.parWorkers()}
+	recovered := false
+	// The debt tracker snapshots the outstanding replay debt its estimate
+	// is judged against, and the closing sample — registered before the
+	// profiler span's defer so it runs after rep.Prof is final — feeds MTTR
+	// accounting and estimator calibration.
+	if dbt := db.Debt(); dbt != nil {
+		dbt.RecoveryStart(len(rep.Crashed))
+		defer func() {
+			var busy int64
+			if rep.Prof != nil {
+				for _, ph := range rep.Prof.Workers.Phases {
+					busy += ph.BusyNS()
+				}
+			}
+			replayed := int64(rep.RedoApplied + rep.RedoSkipped + rep.UndoApplied)
+			dbt.RecoveryEnd(recovered, replayed, busy, rep.Workers, rep.SimTime)
+		}()
+	}
 	// The profiler span covers the whole call, every early return included,
 	// so rep.Prof is the exact counter delta attributable to this recovery.
 	defer db.startProfSpan(rep)()
@@ -129,7 +147,6 @@ func (db *DB) Recover(crashed []machine.NodeID) (*RecoveryReport, error) {
 	// every exit, reporting success only for the normal returns.
 	pg := db.wfProgress()
 	pg.Start(len(rep.Crashed))
-	recovered := false
 	defer func() { pg.End(recovered) }()
 	startClock := db.M.MaxClock()
 	o := db.Observer()

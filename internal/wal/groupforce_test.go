@@ -81,7 +81,7 @@ func TestForceGroupCoalescesConcurrentCommits(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			mu.Lock()
-			lsn := l.Append(Record{Type: TypeCommit, Txn: MakeTxnID(0, uint64(i + 1))})
+			lsn := l.Append(Record{Type: TypeCommit, Txn: MakeTxnID(0, uint64(i+1))})
 			mu.Unlock()
 			lsns[i] = lsn
 			results[i] = l.ForceGroup(lsn)

@@ -5,6 +5,7 @@ import (
 
 	"smdb/internal/machine"
 	"smdb/internal/obs"
+	"smdb/internal/obs/debt"
 	"smdb/internal/obs/waterfall"
 	"smdb/internal/storage"
 )
@@ -59,6 +60,10 @@ type Log struct {
 	// (appends cost no simulated time, so the markers carry ordering, not
 	// duration). Same locking constraints as obs.
 	wf *waterfall.Recorder
+	// dbt receives append/force/crash/discard accounting for the live
+	// recovery-debt tracker. Same locking constraints as obs; the tracker
+	// only takes its own mutex and never calls back into the log.
+	dbt *debt.Tracker
 }
 
 // NewLog creates a log for node n backed by stable device dev. If dev
@@ -115,6 +120,23 @@ func (l *Log) SetWaterfall(w *waterfall.Recorder, simNow func() int64) {
 	}
 }
 
+// SetDebt attaches (or, with nil, detaches) the recovery-debt tracker.
+// simNow has the same contract as in SetObserver; it is shared.
+func (l *Log) SetDebt(d *debt.Tracker, simNow func() int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dbt = d
+	if simNow != nil {
+		l.simNow = simNow
+	}
+}
+
+// EncodedSize returns the bytes r occupies on the stable device (header,
+// fixed body, and both images) without marshalling it.
+func EncodedSize(r *Record) int {
+	return recHeaderLen + 52 + len(r.Before) + len(r.After)
+}
+
 // now returns the owning node's simulated clock (0 when unwired).
 func (l *Log) now() int64 {
 	if l.simNow == nil {
@@ -155,6 +177,7 @@ func (l *Log) Append(r Record) LSN {
 	if l.wf != nil && r.Txn != 0 {
 		l.wf.NoteAppend(int64(r.Txn), l.now(), 0, int64(r.LSN))
 	}
+	l.dbt.NoteAppend(int32(l.node), int64(r.LSN), uint8(r.Type), uint64(r.Txn), EncodedSize(&r), l.now())
 	return r.LSN
 }
 
@@ -227,6 +250,7 @@ func (l *Log) forceLocked(upto LSN) (records int, forced bool) {
 		l.obs.Instant(obs.KindWALForce, int32(l.node), l.now(),
 			int64(records), int64(l.first)+int64(l.forced)-1)
 	}
+	l.dbt.NoteForce(int32(l.node), int64(l.first)+int64(l.forced)-1, records, l.now())
 	return records, true
 }
 
@@ -301,6 +325,9 @@ func (l *Log) ForceTorn(upto LSN, frac float64) (whole, torn int) {
 		l.obs.Instant(obs.KindWALForce, int32(l.node), l.now(),
 			int64(whole), int64(l.first)+int64(l.forced)-1)
 	}
+	if whole > 0 {
+		l.dbt.NoteForce(int32(l.node), int64(l.first)+int64(l.forced)-1, whole, l.now())
+	}
 	return whole, torn
 }
 
@@ -335,6 +362,7 @@ func (l *Log) Crash() int {
 			l.lastCkpt = l.recs[i].LSN
 		}
 	}
+	l.dbt.NoteCrash(int32(l.node), int64(l.first)+int64(l.forced)-1, lost)
 	return lost
 }
 
@@ -490,6 +518,7 @@ func (l *Log) DiscardThrough(upto LSN) int {
 			delete(l.firstByTxn, t)
 		}
 	}
+	l.dbt.NoteDiscard(int32(l.node), int64(l.first))
 	return drop
 }
 

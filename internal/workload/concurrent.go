@@ -169,10 +169,14 @@ func (r *Runner) runWorker(nd machine.NodeID, stopNow func() bool, opCount *atom
 			}
 			switch {
 			case finErr == nil:
-			case errors.Is(finErr, txn.ErrBlocked):
+			case errors.Is(finErr, txn.ErrBlocked), errors.Is(finErr, machine.ErrLineLost):
+				// Same pair as the op loop above: a commit/abort can stall on
+				// the freeze window, or on data a crash destroyed that
+				// recovery has not yet repaired (undo walks read the heap).
 				if stopNow() {
 					return res, nil // left in flight for recovery
 				}
+				res.BlockedRetries++
 				runtime.Gosched()
 				continue
 			case errors.Is(finErr, machine.ErrNodeDown):

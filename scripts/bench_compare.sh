@@ -25,6 +25,13 @@
 # changes the exit status (coverage is already gated by the test suite; the
 # diff here is for spotting drift in the committed record), and like the
 # ns/op half it is skipped with a warning when gomaxprocs differ.
+#
+# Likewise, when a recovery-debt record pair is present (BENCH_debt.ci.json
+# fresh, BENCH_debt.json committed, overridable via args 6 and 7), the
+# script diffs the E24 estimator-accuracy ratios per protocol and WARNs
+# when a fresh ratio crosses the 2.0x acceptance bar or drifts more than
+# 0.5 past baseline. Also informational only: the hard accuracy gate lives
+# in the E24 harness itself, and the ratios are wall-clock-derived.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +40,8 @@ base="${2:-BENCH_recovery.json}"
 thresh="${3:-20}"
 pfresh="${4:-BENCH_profile.ci.json}"
 pbase="${5:-BENCH_profile.json}"
+dfresh="${6:-BENCH_debt.ci.json}"
+dbase="${7:-BENCH_debt.json}"
 
 for f in "$base" "$fresh"; do
     if [ ! -f "$f" ]; then
@@ -82,6 +91,51 @@ if [ -f "$pbase" ] && [ -f "$pfresh" ]; then
     ' "$pbase" "$pfresh"
 elif [ -f "$pbase" ] || [ -f "$pfresh" ]; then
     echo "bench_compare: profile record pair incomplete ($pbase / $pfresh); attribution diff skipped" >&2
+fi
+
+# Recovery-debt estimator accuracy diff (non-blocking, E24): per-protocol
+# estimate/measured ratios from the ratio_x map. The 2.0x bar mirrors the
+# harness gate; the drift bound catches a calibrator quietly getting worse
+# without failing the run over host noise.
+if [ -f "$dbase" ] && [ -f "$dfresh" ]; then
+    awk -v basefile="$dbase" -v freshfile="$dfresh" '
+    FNR == 1 { fileno++ }
+    /"gomaxprocs":/ {
+        if (match($0, /[0-9]+/)) gmp[fileno] = substr($0, RSTART, RLENGTH) + 0
+    }
+    /"ratio_x":/ {
+        s = $0
+        while (match(s, /"[^"]+":[0-9.]+/)) {
+            kv = substr(s, RSTART + 1, RLENGTH - 1)
+            s = substr(s, RSTART + RLENGTH)
+            split(kv, a, /":/)
+            rt[fileno, a[1]] = a[2] + 0
+            if (!((a[1]) in seen)) { seen[a[1]] = 1; keys[++nk] = a[1] }
+        }
+    }
+    END {
+        if (nk == 0) exit 0
+        if (gmp[1] != gmp[2]) {
+            printf "WARNING: debt gomaxprocs differ (baseline %s: %d, fresh %s: %d) — estimator-accuracy diff skipped\n", \
+                basefile, gmp[1], freshfile, gmp[2] > "/dev/stderr"
+            exit 0
+        }
+        for (i = 1; i <= nk; i++) {
+            k = keys[i]
+            if (!((1, k) in rt)) { printf "debt     %s: fresh-only (%.2fx)\n", k, rt[2, k]; continue }
+            if (!((2, k) in rt)) { printf "WARNING: debt ratio %s in baseline but missing from fresh run\n", k > "/dev/stderr"; continue }
+            b = rt[1, k]; f = rt[2, k]
+            flag = "ok"
+            if (f > 2.0 || f > b + 0.5) {
+                flag = "WARN"
+                printf "WARNING: debt estimator accuracy %s drifted: baseline %.2fx, fresh %.2fx\n", k, b, f > "/dev/stderr"
+            }
+            printf "%-8s %s: baseline est/measured %.2fx, fresh %.2fx\n", flag, k, b, f
+        }
+    }
+    ' "$dbase" "$dfresh"
+elif [ -f "$dbase" ] || [ -f "$dfresh" ]; then
+    echo "bench_compare: debt record pair incomplete ($dbase / $dfresh); estimator-accuracy diff skipped" >&2
 fi
 
 # Parallel-speedup diff (non-blocking): compares every speedup_mean key

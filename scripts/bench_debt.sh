@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Runs the recovery-debt estimator census (EXPERIMENTS.md E24) and emits a
+# JSON record of per-protocol estimator accuracy. Usage:
+#
+#   scripts/bench_debt.sh [output.json] [seed]
+#
+# Default output is BENCH_debt.json (the committed accuracy-trajectory
+# record) and seed 1. The experiment itself gates hard inside the harness
+# (coverage >= 0.9, estimate within 2x of the measured recovery, debt
+# collapse after recovery, double-run determinism), so a failing run exits
+# non-zero here; the JSON exists for the non-blocking drift report in
+# bench_compare.sh — estimate/measured ratios are wall-clock-derived and
+# host-sensitive, so cross-host comparison is advisory, never a gate.
+# Parsing is plain awk over the E24 table, matching the other bench scripts.
+set -eu
+
+out="${1:-BENCH_debt.json}"
+seed="${2:-1}"
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go run ./cmd/smdb-bench -exp recoverydebt -seed "$seed" | tee "$raw" >&2
+
+gomaxprocs="$(go run ./scripts/gomaxprocs 2>/dev/null || true)"
+if [ -z "$gomaxprocs" ]; then
+    gomaxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+fi
+
+awk -v gomaxprocs="$gomaxprocs" -v seed="$seed" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# Data rows end their ratio column in "x": proto recs bytes span coverage
+# est measured ratio residual recoveries mttr-ewma.
+$8 ~ /^[0-9.]+x$/ {
+    n++
+    name[n] = $1
+    cov[n] = substr($5, 1, length($5) - 1) / 100.0
+    est[n] = substr($6, 1, length($6) - 2) + 0
+    meas[n] = substr($7, 1, length($7) - 2) + 0
+    ratio[n] = substr($8, 1, length($8) - 1) + 0
+    mttr[n] = substr($11, 1, length($11) - 2) + 0
+}
+END {
+    if (n == 0) { print "bench_debt: no E24 rows parsed" > "/dev/stderr"; exit 2 }
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"seed\": %s,\n", seed
+    printf "  \"note\": \"best-of-judged estimate/measured ratios are host wall-clock; cross-host diffs are advisory\",\n"
+    printf "  \"protocols\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\":\"%s\",\"coverage\":%.3f,\"est_us\":%.1f,\"measured_us\":%.1f,\"ratio\":%.2f,\"mttr_ewma_us\":%.1f}%s\n", \
+            name[i], cov[i], est[i], meas[i], ratio[i], mttr[i], (i < n ? "," : "")
+    }
+    printf "  ],\n"
+    printf "  \"ratio_x\": {"
+    for (i = 1; i <= n; i++) printf "%s\"%s\":%.2f", (i > 1 ? "," : ""), name[i], ratio[i]
+    printf "}\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out (gomaxprocs=$gomaxprocs, seed=$seed)" >&2
